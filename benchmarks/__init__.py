@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every figure and headline claim of the paper."""

@@ -1,0 +1,68 @@
+"""Ablation: does gate fusion rescue the gate-based baseline? (Sec. VI)
+
+The paper argues that even ideal F=2 gate fusion cannot close the gap to the
+precomputed-diagonal approach, because the LABS phase separator still compiles
+to hundreds of (fused) gates per layer while the FUR simulator needs only the
+n mixer rotations.  This benchmark measures the gate-based baseline with and
+without the greedy fusion pass and the FUR backend on the same LABS layer, and
+records the compiled / fused gate counts that drive the argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fur import choose_simulator
+from repro.gates import StatevectorSimulator, build_qaoa_circuit, fuse_circuit
+
+from .conftest import ramp
+
+N_QUBITS = 12
+
+
+def _layer_circuit(terms):
+    gammas, betas = ramp(1)
+    return build_qaoa_circuit(terms, gammas, betas, N_QUBITS, include_initial_state=False)
+
+
+@pytest.mark.benchmark(group="ablation-gate-fusion")
+def test_gate_based_unfused(benchmark, labs_terms_cache):
+    """Baseline: every compiled gate applied separately."""
+    circuit = _layer_circuit(labs_terms_cache[N_QUBITS])
+    sim = StatevectorSimulator()
+    import numpy as np
+
+    sv0 = np.full(1 << N_QUBITS, 1 / np.sqrt(1 << N_QUBITS), dtype=np.complex128)
+    benchmark.pedantic(sim.run, args=(circuit,), kwargs={"initial_state": sv0},
+                       rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-gate-fusion")
+def test_gate_based_fused_f2(benchmark, labs_terms_cache):
+    """Baseline + greedy F=2 gate fusion (fusion time excluded, as in production use)."""
+    circuit = fuse_circuit(_layer_circuit(labs_terms_cache[N_QUBITS]), max_fused_qubits=2)
+    sim = StatevectorSimulator()
+    import numpy as np
+
+    sv0 = np.full(1 << N_QUBITS, 1 / np.sqrt(1 << N_QUBITS), dtype=np.complex128)
+    benchmark.pedantic(sim.run, args=(circuit,), kwargs={"initial_state": sv0},
+                       rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablation-gate-fusion")
+def test_fur_same_layer(benchmark, labs_terms_cache):
+    """The FUR backend on the same single layer."""
+    sim = choose_simulator("c")(N_QUBITS, terms=labs_terms_cache[N_QUBITS])
+    gammas, betas = ramp(1)
+    benchmark(lambda: sim.simulate_qaoa(gammas, betas))
+
+
+def test_fusion_reduces_but_does_not_close_the_gap(labs_terms_cache):
+    """Gate counts behind the Sec. VI argument: fusion shrinks the circuit by a
+    constant factor, but the fused circuit still has far more than n gates."""
+    circuit = _layer_circuit(labs_terms_cache[N_QUBITS])
+    fused = fuse_circuit(circuit, max_fused_qubits=2)
+    print(f"\nLABS n={N_QUBITS} single layer: {circuit.num_gates} compiled gates, "
+          f"{fused.num_gates} after F=2 fusion, vs {N_QUBITS} FUR mixer rotations")
+    assert fused.num_gates < circuit.num_gates
+    assert fused.num_gates > 5 * N_QUBITS

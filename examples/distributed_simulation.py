@@ -1,0 +1,73 @@
+"""Distributed QAOA simulation on the virtual cluster (Algorithm 4 / Fig. 5).
+
+Shows the three distributed execution paths of the reproduction:
+
+1. the driver-style ``gpumpi`` simulator (custom Alltoall, Algorithm 4) and
+   ``cusvmpi`` simulator (cuStateVec-style index swaps), verified bit-exactly
+   against the single-node simulator;
+2. the genuinely SPMD program executed on the thread-based virtual cluster;
+3. the calibrated performance model that regenerates the paper's Fig. 5
+   weak-scaling curves at the original scale (K = 8 … 128 A100 GPUs).
+
+Run with:  python examples/distributed_simulation.py [n_qubits]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.fur import choose_simulator
+from repro.fur.mpi import QAOAFURXSimulatorCUSVMPI, QAOAFURXSimulatorGPUMPI, run_distributed_qaoa
+from repro.parallel import POLARIS_LIKE, PerformanceModel
+from repro.problems import labs
+from repro.qaoa import linear_ramp_parameters
+
+
+def main(n: int = 12) -> None:
+    p, n_ranks = 3, 4
+    terms = labs.get_terms(n)
+    gammas, betas = linear_ramp_parameters(p, delta_t=0.4)
+
+    # --- reference: single-node fast simulator ---------------------------------
+    single = choose_simulator("c")(n, terms=terms)
+    ref_state = np.asarray(single.get_statevector(single.simulate_qaoa(gammas, betas)))
+    ref_energy = single.get_expectation(single.simulate_qaoa(gammas, betas))
+    print(f"LABS n={n}, p={p}: single-node <E> = {ref_energy:.4f}\n")
+
+    # --- distributed simulators --------------------------------------------------
+    for label, cls in [("gpumpi  (MPI_Alltoall, Algorithm 4)", QAOAFURXSimulatorGPUMPI),
+                       ("cusvmpi (distributed index swap)   ", QAOAFURXSimulatorCUSVMPI)]:
+        sim = cls(n, terms=terms, n_ranks=n_ranks)
+        result = sim.simulate_qaoa(gammas, betas)
+        energy = sim.get_expectation(result)
+        max_err = float(np.abs(sim.get_statevector(result) - ref_state).max())
+        traffic = sum(t.total_bytes for t in sim.traffic_log)
+        print(f"{label}: K={n_ranks} ranks, <E> = {energy:.4f}, "
+              f"max |Δψ| vs single node = {max_err:.2e}, "
+              f"communicated {traffic / 1e6:.2f} MB")
+
+    # --- SPMD execution on the thread cluster ------------------------------------
+    spmd = run_distributed_qaoa(n, terms, gammas, betas, n_ranks=n_ranks)
+    print(f"SPMD thread-cluster run: <E> = {spmd['expectation']:.4f}, "
+          f"{spmd['ranks'][0]['n_alltoall']} Alltoall calls per rank, "
+          f"max |Δψ| = {float(np.abs(spmd['statevector'] - ref_state).max()):.2e}\n")
+
+    # --- Fig. 5 weak-scaling projection at the paper's scale ----------------------
+    model = PerformanceModel(POLARIS_LIKE)
+    print("Projected weak scaling of one LABS QAOA layer (30 local qubits per GPU,")
+    print("calibrated to the paper's Polaris description):")
+    print(f"{'K GPUs':>8} {'n':>4} {'MPI Alltoall [s]':>18} {'cuSV index swap [s]':>20} "
+          f"{'comm fraction':>14}")
+    for k in (8, 16, 32, 64, 128):
+        mpi = model.layer_time(30 + (k.bit_length() - 1), k, "mpi_alltoall")
+        cusv = model.layer_time(30 + (k.bit_length() - 1), k, "cusv_p2p")
+        print(f"{k:>8} {mpi.n_qubits:>4} {mpi.total_time:>18.1f} {cusv.total_time:>20.1f} "
+              f"{mpi.communication_fraction:>14.2f}")
+    print("\nThe index-swap (cuStateVec-style) transport is consistently faster, and")
+    print("communication dominates the layer time — both observations from Fig. 5.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

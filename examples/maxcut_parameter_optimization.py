@@ -1,0 +1,70 @@
+"""MaxCut parameter optimization: the workflow the simulator accelerates (Fig. 1).
+
+Runs the same QAOA parameter-optimization loop on two backends — the fast
+precomputed-diagonal simulator and the gate-based baseline — and reports the
+wall-clock time of each, reproducing (at laptop scale) the paper's headline
+claim that precomputation makes the *end-to-end optimization* an order of
+magnitude faster.  Also demonstrates the INTERP depth-progression strategy.
+
+Run with:  python examples/maxcut_parameter_optimization.py [n_qubits]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.gates import QAOAGateBasedSimulator
+from repro.problems import maxcut
+from repro.qaoa import get_qaoa_objective, minimize_qaoa, progressive_depth_optimization
+
+
+def optimize_on_backend(backend, n, terms, p, maxiter):
+    objective = get_qaoa_objective(n, p, terms=terms, backend=backend)
+    start = time.perf_counter()
+    result = minimize_qaoa(objective, method="COBYLA", maxiter=maxiter)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def main(n: int = 12) -> None:
+    degree, p, maxiter = 3, 4, 80
+    graph = maxcut.random_regular_graph(degree, n, seed=42)
+    terms = maxcut.maxcut_terms_from_graph(graph)
+    best_cut, _ = maxcut.maxcut_optimal_cut_bruteforce(graph) if n <= 20 else (None, None)
+    print(f"MaxCut on a random {degree}-regular graph, n={n}, "
+          f"{graph.number_of_edges()} edges, p={p}, optimizer budget {maxiter} evaluations")
+    if best_cut is not None:
+        print(f"Optimal cut (brute force): {best_cut:.0f}\n")
+
+    results = {}
+    for label, backend in [("FUR (precomputed diagonal)", "auto"),
+                           ("gate-based baseline", QAOAGateBasedSimulator)]:
+        result, elapsed = optimize_on_backend(backend, n, terms, p, maxiter)
+        results[label] = (result, elapsed)
+        cut = -result.value
+        ratio = f", approximation ratio {cut / best_cut:.3f}" if best_cut else ""
+        print(f"{label:<28}: best <cut> = {cut:.3f}{ratio}, "
+              f"{result.n_evaluations} evaluations, {elapsed:.2f} s")
+
+    fur_time = results["FUR (precomputed diagonal)"][1]
+    gate_time = results["gate-based baseline"][1]
+    print(f"\nEnd-to-end optimization speedup from precomputation: {gate_time / fur_time:.1f}x")
+    print("(The paper reports 11x at n=26 against a cuQuantum-based gate simulator;")
+    print(" the factor grows with n and with the number of cost-function terms.)\n")
+
+    # --- INTERP depth progression on the fast backend ---------------------------
+    print("Depth progression with INTERP parameter transfer (fast backend):")
+
+    def factory(depth):
+        return get_qaoa_objective(n, depth, terms=terms, backend="auto")
+
+    for res in progressive_depth_optimization(factory, max_p=4, maxiter_per_depth=60):
+        cut = -res.value
+        ratio = f"  ratio={cut / best_cut:.3f}" if best_cut else ""
+        print(f"  p={res.p}:  <cut> = {cut:.3f}{ratio}  "
+              f"({res.n_evaluations} evaluations, {res.wall_time:.2f} s)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

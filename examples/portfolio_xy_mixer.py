@@ -1,0 +1,64 @@
+"""Constrained portfolio optimization with the Hamming-weight-preserving XY mixer.
+
+The budget constraint "select exactly K assets" is enforced by the mixer
+instead of a penalty term: the initial state is the Dicke state of Hamming
+weight K and the ring-XY mixer never leaves that sector.  The example
+optimizes the QAOA parameters, verifies that all probability mass stays
+feasible, and compares the resulting portfolio against the exhaustive optimum
+and a random feasible selection.
+
+Run with:  python examples/portfolio_xy_mixer.py [n_assets]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.fur import choose_simulator_xyring, dicke_state
+from repro.problems import portfolio
+from repro.qaoa import get_qaoa_objective, minimize_qaoa
+
+def main(n: int = 8) -> None:
+    budget, p = n // 2, 3
+    problem = portfolio.random_portfolio_problem(n, budget=budget, risk_aversion=0.6, seed=7)
+    terms = portfolio.portfolio_terms(problem)
+    print(f"Portfolio optimization: {n} assets, select exactly {budget}, "
+          f"risk aversion q={problem.risk_aversion}")
+
+    best_value, best_index = portfolio.best_constrained_selection(problem)
+    feasible = portfolio.hamming_weight_indices(n, budget)
+    costs = portfolio.portfolio_cost_vector(problem)
+    print(f"Exhaustive optimum over {len(feasible)} feasible selections: {best_value:.4f}")
+    print(f"Mean feasible objective (random selection): {float(costs[feasible].mean()):.4f}\n")
+
+    # --- QAOA with the XY-ring mixer over the Dicke initial state ---------------
+    sv0 = dicke_state(n, budget)
+    objective = get_qaoa_objective(n, p, terms=terms, backend="auto", mixer="xyring", sv0=sv0)
+    result = minimize_qaoa(objective, method="COBYLA", maxiter=120)
+    print(f"Optimized QAOA (p={p}, XY-ring mixer): <f> = {result.value:.4f} "
+          f"after {result.n_evaluations} evaluations in {result.wall_time:.2f} s")
+
+    # --- verify the constraint and inspect the best selections -------------------
+    sim = choose_simulator_xyring("auto")(n, terms=terms)
+    final = sim.simulate_qaoa(result.gammas, result.betas, sv0=sv0)
+    probs = sim.get_probabilities(final)
+    infeasible_mass = float(probs.sum() - probs[feasible].sum())
+    print(f"Probability outside the budget sector: {infeasible_mass:.2e} "
+          "(exactly preserved by the XY mixer)")
+
+    order = feasible[np.argsort(probs[feasible])[::-1][:5]]
+    print("\nMost probable portfolios:")
+    for x in order:
+        assets = [i for i in range(n) if (int(x) >> i) & 1]
+        marker = "  <-- optimal" if int(x) == best_index else ""
+        print(f"  assets {assets}  p={probs[x]:.4f}  f={costs[x]:.4f}{marker}")
+
+    p_opt = float(probs[best_index])
+    print(f"\nProbability of measuring the optimal portfolio: {p_opt:.4f} "
+          f"(uniform feasible sampling: {1 / len(feasible):.4f})")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,34 @@
+"""repro — reproduction of "Fast Simulation of High-Depth QAOA Circuits" (SC 2023).
+
+The package mirrors the structure of the paper's QOKit framework:
+
+* :mod:`repro.fur` — the fast QAOA simulators built on the precomputed
+  diagonal cost operator (the paper's core contribution), with CPU, simulated
+  GPU and distributed (virtual-cluster) backends;
+* :mod:`repro.problems` — MaxCut, LABS, portfolio and SK problem generators;
+* :mod:`repro.qaoa` — objective factories, parameter initialization and
+  optimization drivers;
+* :mod:`repro.gates` — a gate-based state-vector simulator (baseline);
+* :mod:`repro.tensornet` — a tensor-network contraction simulator (baseline);
+* :mod:`repro.parallel` — the virtual-cluster substrate (communicators,
+  collectives, topology and performance model);
+* :mod:`repro.classical` — classical heuristic solvers used for reference.
+
+Quickstart (Listing 1 of the paper)::
+
+    import repro
+    simclass = repro.fur.choose_simulator(name="auto")
+    n = 12
+    terms = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
+    sim = simclass(n, terms=terms)
+    costs = sim.get_cost_diagonal()
+    result = sim.simulate_qaoa(gamma, beta)
+    energy = sim.get_expectation(result)
+"""
+
+from . import fur, problems
+from .problems import labs, maxcut, portfolio, sk
+
+__version__ = "1.0.0"
+
+__all__ = ["fur", "problems", "labs", "maxcut", "portfolio", "sk", "__version__"]

@@ -1,0 +1,22 @@
+"""Classical solvers used as references for QAOA solution quality."""
+
+from .annealing import AnnealingResult, simulated_annealing
+from .bruteforce import BruteForceResult, brute_force_maximize, brute_force_minimize
+from .local_search import IncrementalEvaluator, random_spins, steepest_descent
+from .memetic import MemeticResult, memetic_tabu_search
+from .tabu import TabuResult, tabu_search
+
+__all__ = [
+    "BruteForceResult",
+    "brute_force_minimize",
+    "brute_force_maximize",
+    "IncrementalEvaluator",
+    "steepest_descent",
+    "random_spins",
+    "TabuResult",
+    "tabu_search",
+    "AnnealingResult",
+    "simulated_annealing",
+    "MemeticResult",
+    "memetic_tabu_search",
+]

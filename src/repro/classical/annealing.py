@@ -1,0 +1,67 @@
+"""Simulated annealing for spin-polynomial minimization.
+
+A second, independent classical heuristic (geometric temperature schedule,
+Metropolis acceptance, incremental single-flip evaluation).  Used alongside
+tabu search in the examples to contextualize QAOA solution quality.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .local_search import IncrementalEvaluator, random_spins
+
+__all__ = ["AnnealingResult", "simulated_annealing"]
+
+
+@dataclass(frozen=True)
+class AnnealingResult:
+    """Best configuration found by simulated annealing."""
+
+    spins: np.ndarray
+    value: float
+    sweeps: int
+
+
+def simulated_annealing(terms: Iterable[tuple[float, Iterable[int]]], n: int, *,
+                        n_sweeps: int = 200, t_initial: float | None = None,
+                        t_final: float = 1e-2, seed: int | None = None,
+                        initial_spins: np.ndarray | None = None) -> AnnealingResult:
+    """Minimize the polynomial with single-spin-flip simulated annealing.
+
+    A *sweep* proposes one flip per variable.  The initial temperature defaults
+    to the mean magnitude of single-flip deltas of the starting configuration,
+    which keeps the early acceptance rate high without problem-specific tuning.
+    """
+    if n_sweeps <= 0:
+        raise ValueError("n_sweeps must be positive")
+    if t_final <= 0:
+        raise ValueError("t_final must be positive")
+    rng = np.random.default_rng(seed)
+    evaluator = IncrementalEvaluator(terms, n)
+    spins = random_spins(n, rng) if initial_spins is None else np.asarray(initial_spins)
+    value = evaluator.set_spins(spins)
+
+    if t_initial is None:
+        t_initial = float(np.mean(np.abs(evaluator.all_flip_deltas()))) + 1e-9
+    if t_initial <= t_final:
+        t_initial = t_final * 10.0
+    cooling = (t_final / t_initial) ** (1.0 / max(n_sweeps - 1, 1))
+
+    best_spins = evaluator.spins
+    best_value = value
+    temperature = t_initial
+    for _sweep in range(n_sweeps):
+        order = rng.permutation(n)
+        for i in order:
+            delta = evaluator.flip_delta(int(i))
+            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                value = evaluator.flip(int(i))
+                if value < best_value - 1e-12:
+                    best_value = value
+                    best_spins = evaluator.spins
+        temperature *= cooling
+    return AnnealingResult(spins=best_spins, value=float(best_value), sweeps=n_sweeps)

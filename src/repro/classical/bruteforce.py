@@ -1,0 +1,59 @@
+"""Exhaustive (brute-force) minimization of spin-polynomial cost functions.
+
+Used as the ground-truth reference for overlap calculations, for validating
+the heuristic solvers, and in the examples that report approximation ratios.
+Internally reuses the fast diagonal precomputation, so "brute force" is a
+single vectorized pass over all 2^n assignments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..fur.diagonal import precompute_cost_diagonal
+
+__all__ = ["BruteForceResult", "brute_force_minimize", "brute_force_maximize"]
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Optimal value and the full set of optimal basis states."""
+
+    value: float
+    indices: np.ndarray
+
+    @property
+    def index(self) -> int:
+        """One optimal basis-state index (the smallest)."""
+        return int(self.indices[0])
+
+    def bits(self, n_qubits: int) -> np.ndarray:
+        """Little-endian bit array of the first optimal state."""
+        return np.array([(self.index >> q) & 1 for q in range(n_qubits)], dtype=np.int64)
+
+    def spins(self, n_qubits: int) -> np.ndarray:
+        """±1 spin configuration of the first optimal state."""
+        return 1 - 2 * self.bits(n_qubits)
+
+
+def brute_force_minimize(terms: Iterable[tuple[float, Iterable[int]]],
+                         n_qubits: int, *, max_qubits: int = 24) -> BruteForceResult:
+    """Exhaustively minimize the cost polynomial (refuses n above ``max_qubits``)."""
+    if n_qubits > max_qubits:
+        raise ValueError(f"brute force refused for n={n_qubits} > {max_qubits}")
+    diag = precompute_cost_diagonal(terms, n_qubits)
+    best = float(diag.min())
+    return BruteForceResult(value=best, indices=np.flatnonzero(diag == best))
+
+
+def brute_force_maximize(terms: Iterable[tuple[float, Iterable[int]]],
+                         n_qubits: int, *, max_qubits: int = 24) -> BruteForceResult:
+    """Exhaustively maximize the cost polynomial."""
+    if n_qubits > max_qubits:
+        raise ValueError(f"brute force refused for n={n_qubits} > {max_qubits}")
+    diag = precompute_cost_diagonal(terms, n_qubits)
+    best = float(diag.max())
+    return BruteForceResult(value=best, indices=np.flatnonzero(diag == best))

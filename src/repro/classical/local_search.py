@@ -1,0 +1,116 @@
+"""Incremental-evaluation machinery and single-flip local search.
+
+The classical heuristics (tabu search, simulated annealing, memetic search)
+all rely on evaluating the effect of flipping one spin in O(terms touching
+that spin) instead of re-evaluating the whole polynomial.
+:class:`IncrementalEvaluator` provides that primitive for arbitrary spin
+polynomials (Eq. 1), and :func:`steepest_descent` implements the plain
+best-improvement local search built on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from ..problems.terms import normalize_terms, validate_terms
+
+__all__ = ["IncrementalEvaluator", "steepest_descent", "random_spins"]
+
+
+def random_spins(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random ±1 configuration."""
+    return rng.choice(np.array([-1, 1], dtype=np.int64), size=n)
+
+
+class IncrementalEvaluator:
+    """Tracks the cost of a spin configuration under single-spin flips.
+
+    For each variable the evaluator keeps the list of terms containing it.
+    The current value of every term is cached; flipping spin ``i`` negates the
+    cached value of exactly the terms containing ``i``, so the cost delta is
+    ``-2 Σ_{k: i ∈ t_k} v_k`` — an O(degree) update.
+    """
+
+    def __init__(self, terms: Iterable[tuple[float, Iterable[int]]], n: int) -> None:
+        normalized = validate_terms(normalize_terms(terms), n)
+        self.n = int(n)
+        self.weights = np.array([w for w, _ in normalized], dtype=np.float64)
+        self.index_sets = [np.array(idx, dtype=np.int64) for _, idx in normalized]
+        self.terms_of_variable: list[list[int]] = [[] for _ in range(n)]
+        for k, idx in enumerate(self.index_sets):
+            for i in idx:
+                self.terms_of_variable[i].append(k)
+        self.terms_of_variable = [np.array(t, dtype=np.int64) for t in self.terms_of_variable]
+        self._spins: np.ndarray | None = None
+        self._term_values: np.ndarray | None = None
+        self._value: float = 0.0
+
+    # -- state management -------------------------------------------------------
+    def set_spins(self, spins: np.ndarray) -> float:
+        """Load a configuration and return its cost (full evaluation, O(L·order))."""
+        spins = np.asarray(spins, dtype=np.int64)
+        if spins.shape != (self.n,):
+            raise ValueError(f"spins must have shape ({self.n},), got {spins.shape}")
+        if not np.all(np.abs(spins) == 1):
+            raise ValueError("spins must be ±1 valued")
+        self._spins = spins.copy()
+        values = np.empty(self.weights.shape[0], dtype=np.float64)
+        for k, idx in enumerate(self.index_sets):
+            values[k] = self.weights[k] * (np.prod(spins[idx]) if idx.size else 1.0)
+        self._term_values = values
+        self._value = float(values.sum())
+        return self._value
+
+    @property
+    def spins(self) -> np.ndarray:
+        """The current configuration (copy)."""
+        self._require_state()
+        return self._spins.copy()
+
+    @property
+    def value(self) -> float:
+        """The current cost value."""
+        self._require_state()
+        return self._value
+
+    def _require_state(self) -> None:
+        if self._spins is None:
+            raise RuntimeError("call set_spins() before querying the evaluator")
+
+    # -- incremental updates -------------------------------------------------------
+    def flip_delta(self, i: int) -> float:
+        """Cost change of flipping spin ``i`` (without applying it)."""
+        self._require_state()
+        if not 0 <= i < self.n:
+            raise ValueError(f"variable index {i} out of range")
+        affected = self.terms_of_variable[i]
+        return float(-2.0 * self._term_values[affected].sum())
+
+    def all_flip_deltas(self) -> np.ndarray:
+        """Cost change of every possible single flip (length-n array)."""
+        self._require_state()
+        return np.array([self.flip_delta(i) for i in range(self.n)], dtype=np.float64)
+
+    def flip(self, i: int) -> float:
+        """Apply the flip of spin ``i`` and return the new cost."""
+        delta = self.flip_delta(i)
+        affected = self.terms_of_variable[i]
+        self._term_values[affected] *= -1.0
+        self._spins[i] *= -1
+        self._value += delta
+        return self._value
+
+
+def steepest_descent(evaluator: IncrementalEvaluator, spins: np.ndarray,
+                     *, max_sweeps: int = 100) -> tuple[np.ndarray, float]:
+    """Best-improvement local search: flip the best spin until no flip improves."""
+    value = evaluator.set_spins(spins)
+    for _ in range(max_sweeps):
+        deltas = evaluator.all_flip_deltas()
+        best = int(np.argmin(deltas))
+        if deltas[best] >= -1e-12:
+            break
+        value = evaluator.flip(best)
+    return evaluator.spins, value

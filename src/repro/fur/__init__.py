@@ -1,0 +1,158 @@
+"""Fast QAOA simulators exploiting the precomputed diagonal cost operator.
+
+This package is the reproduction of the paper's core contribution (QOKit's
+``qokit.fur``).  It exposes
+
+* :class:`~repro.fur.base.QAOAFastSimulatorBase` — the low-level simulation
+  API shared by all backends;
+* the backend simulator families (``python``, ``c``, ``gpu``, ``gpumpi``,
+  ``cusvmpi``), one class per mixer type per backend;
+* the ``choose_simulator*`` helpers from the paper's Listings 1–3, which pick
+  a backend by name (or automatically).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import QAOAFastSimulatorBase, dicke_state, uniform_superposition
+from .diagonal import (
+    CompressedDiagonal,
+    compress_diagonal,
+    diagonal_memory_bytes,
+    diagonal_memory_overhead,
+    precompute_cost_diagonal,
+    precompute_cost_diagonal_from_function,
+    precompute_cost_diagonal_slice,
+)
+from .cvect import (
+    QAOAFURXSimulatorC,
+    QAOAFURXYCompleteSimulatorC,
+    QAOAFURXYRingSimulatorC,
+)
+from .python import (
+    QAOAFURXSimulator,
+    QAOAFURXYCompleteSimulator,
+    QAOAFURXYRingSimulator,
+)
+
+__all__ = [
+    "QAOAFastSimulatorBase",
+    "uniform_superposition",
+    "dicke_state",
+    "CompressedDiagonal",
+    "compress_diagonal",
+    "precompute_cost_diagonal",
+    "precompute_cost_diagonal_slice",
+    "precompute_cost_diagonal_from_function",
+    "diagonal_memory_bytes",
+    "diagonal_memory_overhead",
+    "QAOAFURXSimulator",
+    "QAOAFURXYRingSimulator",
+    "QAOAFURXYCompleteSimulator",
+    "QAOAFURXSimulatorC",
+    "QAOAFURXYRingSimulatorC",
+    "QAOAFURXYCompleteSimulatorC",
+    "SIMULATORS",
+    "choose_simulator",
+    "choose_simulator_xyring",
+    "choose_simulator_xycomplete",
+    "available_backends",
+]
+
+
+def _load_gpu_simulators() -> dict[str, type[QAOAFastSimulatorBase]]:
+    """Import the simulated-GPU backend lazily (it is optional at import time)."""
+    from .simgpu import (
+        QAOAFURXSimulatorGPU,
+        QAOAFURXYCompleteSimulatorGPU,
+        QAOAFURXYRingSimulatorGPU,
+    )
+
+    return {
+        "x": QAOAFURXSimulatorGPU,
+        "xyring": QAOAFURXYRingSimulatorGPU,
+        "xycomplete": QAOAFURXYCompleteSimulatorGPU,
+    }
+
+
+def _load_mpi_simulators(kind: str) -> dict[str, type[QAOAFastSimulatorBase]]:
+    """Import a distributed backend lazily.
+
+    ``kind`` is ``"gpumpi"`` (custom Alltoall communication, Algorithm 4) or
+    ``"cusvmpi"`` (distributed index-bit-swap communication).  The distributed
+    backends implement the transverse-field mixer only, matching the paper's
+    large-scale LABS runs.
+    """
+    from .mpi import QAOAFURXSimulatorCUSVMPI, QAOAFURXSimulatorGPUMPI
+
+    if kind == "gpumpi":
+        return {"x": QAOAFURXSimulatorGPUMPI}
+    return {"x": QAOAFURXSimulatorCUSVMPI}
+
+
+#: Registry of backend name -> mixer name -> simulator class factory.
+SIMULATORS: dict[str, Callable[[], dict[str, type[QAOAFastSimulatorBase]]]] = {
+    "python": lambda: {
+        "x": QAOAFURXSimulator,
+        "xyring": QAOAFURXYRingSimulator,
+        "xycomplete": QAOAFURXYCompleteSimulator,
+    },
+    "c": lambda: {
+        "x": QAOAFURXSimulatorC,
+        "xyring": QAOAFURXYRingSimulatorC,
+        "xycomplete": QAOAFURXYCompleteSimulatorC,
+    },
+    "gpu": _load_gpu_simulators,
+    "gpumpi": lambda: _load_mpi_simulators("gpumpi"),
+    "cusvmpi": lambda: _load_mpi_simulators("cusvmpi"),
+}
+
+#: Aliases accepted by ``choose_simulator(name=...)``.
+_ALIASES = {
+    "auto": "c",
+    "numpy": "python",
+    "nbcuda": "gpu",
+    "custatevec": "cusvmpi",
+}
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return list(SIMULATORS)
+
+
+def _choose(mixer: str, name: str = "auto") -> type[QAOAFastSimulatorBase]:
+    backend = _ALIASES.get(name, name)
+    if backend not in SIMULATORS:
+        raise ValueError(
+            f"unknown simulator backend {name!r}; available: {sorted(SIMULATORS) + sorted(_ALIASES)}"
+        )
+    family = SIMULATORS[backend]()
+    if mixer not in family:
+        raise ValueError(
+            f"backend {backend!r} does not implement the {mixer!r} mixer "
+            f"(available mixers: {sorted(family)})"
+        )
+    return family[mixer]
+
+
+def choose_simulator(name: str = "auto") -> type[QAOAFastSimulatorBase]:
+    """Pick a transverse-field-mixer simulator class by backend name.
+
+    Mirrors ``qokit.fur.choose_simulator`` (Listing 1).  ``name='auto'``
+    selects the fastest locally available backend (the blocked ``c`` CPU
+    simulator in this environment); explicit names are ``python``, ``c``,
+    ``gpu``, ``gpumpi`` and ``cusvmpi``.
+    """
+    return _choose("x", name)
+
+
+def choose_simulator_xyring(name: str = "auto") -> type[QAOAFastSimulatorBase]:
+    """Pick a ring-XY-mixer simulator class by backend name (Listing 2 analogue)."""
+    return _choose("xyring", name)
+
+
+def choose_simulator_xycomplete(name: str = "auto") -> type[QAOAFastSimulatorBase]:
+    """Pick a complete-graph-XY-mixer simulator class by backend name (Listing 2)."""
+    return _choose("xycomplete", name)

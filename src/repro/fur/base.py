@@ -1,0 +1,284 @@
+"""Abstract base class shared by all fast QAOA simulator backends.
+
+The paper's low-level simulation API (Sec. IV) is defined by the abstract
+class ``qokit.fur.QAOAFastSimulatorBase``; this module is its counterpart.
+The contract:
+
+* the constructor receives the problem either as polynomial ``terms`` or as a
+  precomputed ``costs`` diagonal, and performs (or ingests) the
+  precomputation once;
+* ``simulate_qaoa(gammas, betas)`` evolves the initial state through ``p``
+  QAOA layers and returns a backend-specific *result* object (the evolved
+  state in whatever memory space the backend uses);
+* the ``get_*`` output methods accept the result object and always return CPU
+  (NumPy) values, so user code is portable across backends, as emphasized in
+  Listings 1–3 of the paper.
+
+Backends differ in where the state vector lives (host NumPy array, simulated
+GPU device array, per-rank slices on the virtual cluster) and in how the mixer
+kernels are executed; they share the phase-operator and objective-evaluation
+logic, which is where the precomputed diagonal is reused.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+import numpy as np
+
+from ..problems.terms import Term, validate_terms
+from .diagonal import CompressedDiagonal, precompute_cost_diagonal
+
+__all__ = [
+    "QAOAFastSimulatorBase",
+    "uniform_superposition",
+    "dicke_state",
+    "validate_angles",
+]
+
+
+def uniform_superposition(n_qubits: int, dtype: np.dtype | type = np.complex128) -> np.ndarray:
+    """The |+>^n initial state: every amplitude equal to 2^{-n/2}."""
+    if n_qubits <= 0:
+        raise ValueError("n_qubits must be positive")
+    size = 1 << n_qubits
+    sv = np.empty(size, dtype=dtype)
+    sv.fill(1.0 / np.sqrt(size))
+    return sv
+
+
+def dicke_state(n_qubits: int, hamming_weight: int,
+                dtype: np.dtype | type = np.complex128) -> np.ndarray:
+    """Uniform superposition over all basis states of fixed Hamming weight.
+
+    This is the natural initial state for the Hamming-weight-preserving XY
+    mixers (e.g. the portfolio budget constraint): the XY mixer never leaves
+    the weight sector the initial state occupies.
+    """
+    if not 0 <= hamming_weight <= n_qubits:
+        raise ValueError(f"hamming weight {hamming_weight} out of range for n={n_qubits}")
+    size = 1 << n_qubits
+    idx = np.arange(size, dtype=np.uint64)
+    mask = np.bitwise_count(idx) == hamming_weight
+    count = int(mask.sum())
+    sv = np.zeros(size, dtype=dtype)
+    sv[mask] = 1.0 / np.sqrt(count)
+    return sv
+
+
+def validate_angles(gammas: Sequence[float] | np.ndarray,
+                    betas: Sequence[float] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and convert QAOA angle vectors; both must have the same length p."""
+    g = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+    b = np.atleast_1d(np.asarray(betas, dtype=np.float64))
+    if g.ndim != 1 or b.ndim != 1:
+        raise ValueError("gamma and beta must be one-dimensional sequences")
+    if g.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"gamma and beta must have the same length, got {g.shape[0]} and {b.shape[0]}"
+        )
+    if g.shape[0] == 0:
+        raise ValueError("at least one QAOA layer is required")
+    if not (np.all(np.isfinite(g)) and np.all(np.isfinite(b))):
+        raise ValueError("QAOA angles must be finite")
+    return g, b
+
+
+class QAOAFastSimulatorBase(abc.ABC):
+    """Base class of every fast-QAOA simulator backend.
+
+    Parameters
+    ----------
+    n_qubits:
+        Number of qubits ``n``; the state vector has 2^n amplitudes.
+    terms:
+        Cost polynomial as an iterable of ``(weight, indices)`` pairs.
+        Mutually exclusive with ``costs``.
+    costs:
+        Precomputed cost diagonal (length-2^n array or
+        :class:`~repro.fur.diagonal.CompressedDiagonal`).  Passing a
+        precomputed diagonal mirrors QOKit's ``costs=`` constructor argument
+        and skips the precomputation.
+    """
+
+    #: human-readable backend name ("python", "c", "gpu", "gpumpi", "cusvmpi")
+    backend_name: str = "base"
+    #: mixer implemented by this simulator class ("x", "xyring", "xycomplete")
+    mixer_name: str = "x"
+
+    def __init__(self, n_qubits: int,
+                 terms: Iterable[tuple[float, Iterable[int]]] | None = None,
+                 costs: np.ndarray | CompressedDiagonal | None = None) -> None:
+        if n_qubits <= 0:
+            raise ValueError(f"n_qubits must be positive, got {n_qubits}")
+        if n_qubits > 34:
+            raise ValueError(
+                f"n_qubits={n_qubits} would require {(1 << n_qubits) * 16 / 2**30:.0f} GiB "
+                "for the state vector; refusing"
+            )
+        if (terms is None) == (costs is None):
+            raise ValueError("provide exactly one of `terms` or `costs`")
+        self._n_qubits = int(n_qubits)
+        self._n_states = 1 << self._n_qubits
+        self._terms: list[Term] | None = None
+        if terms is not None:
+            self._terms = validate_terms(terms, self._n_qubits)
+            host_costs = self._precompute_diagonal(self._terms)
+        else:
+            host_costs = self._ingest_costs(costs)
+        self._hamiltonian_host = host_costs  # float64 host copy (or CompressedDiagonal)
+        self._post_init()
+
+    # -- construction hooks --------------------------------------------------
+    def _precompute_diagonal(self, terms: list[Term]) -> np.ndarray:
+        """Precompute the cost diagonal on the host (backends may override)."""
+        return precompute_cost_diagonal(terms, self._n_qubits)
+
+    def _ingest_costs(self, costs: np.ndarray | CompressedDiagonal) -> np.ndarray | CompressedDiagonal:
+        """Validate a user-provided cost diagonal."""
+        if isinstance(costs, CompressedDiagonal):
+            if len(costs) != self._n_states:
+                raise ValueError(
+                    f"cost diagonal has length {len(costs)}, expected {self._n_states}"
+                )
+            return costs
+        arr = np.asarray(costs, dtype=np.float64)
+        if arr.shape != (self._n_states,):
+            raise ValueError(
+                f"cost diagonal has shape {arr.shape}, expected ({self._n_states},)"
+            )
+        return arr
+
+    def _post_init(self) -> None:
+        """Hook for backends that stage data onto a device / across ranks."""
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits."""
+        return self._n_qubits
+
+    @property
+    def n_states(self) -> int:
+        """State-vector length 2^n."""
+        return self._n_states
+
+    @property
+    def terms(self) -> list[Term] | None:
+        """The polynomial terms the simulator was constructed from (if any)."""
+        return None if self._terms is None else list(self._terms)
+
+    def get_cost_diagonal(self) -> np.ndarray:
+        """The precomputed cost vector as a host float64 array."""
+        if isinstance(self._hamiltonian_host, CompressedDiagonal):
+            return self._hamiltonian_host.decompress()
+        return np.asarray(self._hamiltonian_host)
+
+    # -- simulation ----------------------------------------------------------
+    @abc.abstractmethod
+    def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
+                      sv0: np.ndarray | None = None, **kwargs: Any) -> Any:
+        """Simulate ``p`` QAOA layers and return a backend-specific result object.
+
+        ``sv0`` optionally overrides the initial state (default ``|+>^n``).
+        """
+
+    # -- output methods (always return CPU values) ---------------------------
+    @abc.abstractmethod
+    def get_statevector(self, result: Any, **kwargs: Any) -> np.ndarray:
+        """Full state vector as a host complex array."""
+
+    @abc.abstractmethod
+    def get_probabilities(self, result: Any, preserve_state: bool = True,
+                          **kwargs: Any) -> np.ndarray:
+        """Measurement probabilities |ψ_x|² as a host float array.
+
+        With ``preserve_state=False`` a backend may reuse the state-vector
+        memory for the squared magnitudes (the paper's memory-saving option on
+        GPU backends); the result object must not be used afterwards.
+        """
+
+    def _resolve_costs(self, costs: np.ndarray | CompressedDiagonal | None) -> np.ndarray:
+        """Pick between a user-supplied diagonal and the precomputed one."""
+        if costs is None:
+            return self.get_cost_diagonal()
+        if isinstance(costs, CompressedDiagonal):
+            return costs.decompress()
+        arr = np.asarray(costs, dtype=np.float64)
+        if arr.shape != (self._n_states,):
+            raise ValueError(
+                f"cost diagonal has shape {arr.shape}, expected ({self._n_states},)"
+            )
+        return arr
+
+    def get_expectation(self, result: Any,
+                        costs: np.ndarray | CompressedDiagonal | None = None,
+                        preserve_state: bool = True, **kwargs: Any) -> float:
+        """QAOA objective ``<γβ|Ĉ|γβ>`` — one inner product with the diagonal."""
+        probs = self.get_probabilities(result, preserve_state=preserve_state, **kwargs)
+        return float(np.dot(probs, self._resolve_costs(costs)))
+
+    def get_overlap(self, result: Any,
+                    costs: np.ndarray | CompressedDiagonal | None = None,
+                    indices: np.ndarray | Sequence[int] | None = None,
+                    preserve_state: bool = True, **kwargs: Any) -> float:
+        """Probability of measuring an optimal (minimal-cost) basis state.
+
+        ``indices`` may supply an explicit set of target states; by default the
+        argmin set of the cost diagonal is used.
+        """
+        probs = self.get_probabilities(result, preserve_state=preserve_state, **kwargs)
+        if indices is None:
+            diag = self._resolve_costs(costs)
+            indices = np.flatnonzero(diag == diag.min())
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("overlap requested against an empty set of indices")
+        if idx.min() < 0 or idx.max() >= self._n_states:
+            raise ValueError("overlap indices out of range")
+        return float(probs[idx].sum())
+
+    def sample_bitstrings(self, result: Any, n_samples: int, *,
+                          seed: int | None = None,
+                          preserve_state: bool = True, **kwargs: Any) -> np.ndarray:
+        """Sample measurement outcomes from the evolved state.
+
+        Returns an ``(n_samples, n_qubits)`` array of 0/1 outcomes (little-endian:
+        column ``q`` is qubit ``q``), drawn from the exact probability
+        distribution of the result state.  This is the "measure the prepared
+        state" step of the QAOA workflow (used e.g. for the sampling-frequency
+        analyses the paper's companion studies perform).
+        """
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        probs = np.asarray(self.get_probabilities(result, preserve_state=preserve_state,
+                                                  **kwargs), dtype=np.float64)
+        total = probs.sum()
+        if not np.isfinite(total) or total <= 0:
+            raise ValueError("result state has non-normalizable probabilities")
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(self._n_states, size=n_samples, p=probs / total)
+        shifts = np.arange(self._n_qubits, dtype=np.uint64)
+        return ((indices[:, None].astype(np.uint64) >> shifts[None, :]) & np.uint64(1)).astype(np.int8)
+
+    # -- misc ----------------------------------------------------------------
+    def initial_state(self, dtype: np.dtype | type = np.complex128) -> np.ndarray:
+        """Default initial state |+>^n as a host array."""
+        return uniform_superposition(self._n_qubits, dtype=dtype)
+
+    def _validate_sv0(self, sv0: np.ndarray | None) -> np.ndarray:
+        """Return a host complex128 copy of the initial state to evolve."""
+        if sv0 is None:
+            return self.initial_state()
+        arr = np.array(sv0, dtype=np.complex128, copy=True)
+        if arr.shape != (self._n_states,):
+            raise ValueError(
+                f"initial state has shape {arr.shape}, expected ({self._n_states},)"
+            )
+        return arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{type(self).__name__}(n_qubits={self._n_qubits}, "
+                f"backend={self.backend_name!r}, mixer={self.mixer_name!r})")

@@ -1,0 +1,31 @@
+"""Optimized blocked CPU backend (the paper's custom-C simulator analogue)."""
+
+from .kernels import (
+    DEFAULT_BLOCK_SIZE,
+    KernelWorkspace,
+    apply_phase_inplace,
+    apply_su2_blocked,
+    expectation_inplace,
+    furx_all_blocked,
+    furxy_blocked,
+    probabilities_inplace,
+)
+from .qaoa_simulator import (
+    QAOAFURXSimulatorC,
+    QAOAFURXYCompleteSimulatorC,
+    QAOAFURXYRingSimulatorC,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "KernelWorkspace",
+    "apply_phase_inplace",
+    "apply_su2_blocked",
+    "expectation_inplace",
+    "furx_all_blocked",
+    "furxy_blocked",
+    "probabilities_inplace",
+    "QAOAFURXSimulatorC",
+    "QAOAFURXYRingSimulatorC",
+    "QAOAFURXYCompleteSimulatorC",
+]

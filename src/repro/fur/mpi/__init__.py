@@ -1,0 +1,16 @@
+"""Distributed FUR simulators (Algorithm 4 and the index-swap variant)."""
+
+from .qaoa_simulator import (
+    DistributedStateVector,
+    QAOAFURXSimulatorCUSVMPI,
+    QAOAFURXSimulatorGPUMPI,
+)
+from .spmd import qaoa_rank_program, run_distributed_qaoa
+
+__all__ = [
+    "DistributedStateVector",
+    "QAOAFURXSimulatorGPUMPI",
+    "QAOAFURXSimulatorCUSVMPI",
+    "qaoa_rank_program",
+    "run_distributed_qaoa",
+]

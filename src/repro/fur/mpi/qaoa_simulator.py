@@ -1,0 +1,306 @@
+"""Distributed QAOA simulators over the virtual cluster (Sec. III-C, Algorithm 4).
+
+The state vector of ``n`` qubits is split across ``K = 2^k`` virtual ranks;
+rank ``r`` holds the contiguous slice of amplitudes whose top ``k`` index bits
+equal ``r`` (the paper's *global qubits*).  The cost diagonal is precomputed
+slice-by-slice with no communication (the locality property of Sec. III-A),
+the phase operator is applied locally, and only the mixer requires moving
+data.  Two communication strategies are implemented, mirroring the paper's two
+distributed backends:
+
+* :class:`QAOAFURXSimulatorGPUMPI` — the custom ``MPI_Alltoall`` strategy of
+  Algorithm 4: two all-to-all exchanges per mixer application, between which
+  the previously-global qubits are rotated locally at shifted positions;
+* :class:`QAOAFURXSimulatorCUSVMPI` — the cuStateVec-style *distributed index
+  swap*: each global qubit is swapped with the top local qubit through a
+  pairwise half-slice exchange with the rank differing in that bit, rotated
+  locally, and swapped back.
+
+Both are verified bit-exact against the single-node simulators in the
+test-suite.  Only the transverse-field (X) mixer is distributed — the same
+restriction as the paper's large-scale LABS runs, which use the standard
+mixer.
+
+Execution model: the simulator object *drives* the per-rank slices (so results
+are deterministic and the communication pattern is explicit and inspectable
+via :attr:`traffic_log`); per-rank local kernels can optionally run on a
+thread pool (``parallel_local=True``) to overlap work across host cores, and
+an SPMD entry point compatible with
+:class:`repro.parallel.communicator.ThreadCluster` is provided in
+:mod:`repro.fur.mpi.spmd`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ...parallel.collectives import ALLTOALL_ALGORITHMS, TrafficTrace, alltoall
+from ..base import QAOAFastSimulatorBase, validate_angles
+from ..cvect.kernels import DEFAULT_BLOCK_SIZE, KernelWorkspace, apply_phase_inplace, apply_su2_blocked
+from ..diagonal import precompute_cost_diagonal_slice
+from ..python.furx import su2_x_rotation
+
+__all__ = [
+    "DistributedStateVector",
+    "QAOAFURXSimulatorGPUMPI",
+    "QAOAFURXSimulatorCUSVMPI",
+]
+
+
+@dataclass
+class DistributedStateVector:
+    """The per-rank slices of a distributed state vector (a backend *result*)."""
+
+    slices: list[np.ndarray]
+    n_qubits: int
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks holding slices."""
+        return len(self.slices)
+
+    def gather(self) -> np.ndarray:
+        """Concatenate all slices into the full state vector (``mpi_gather=True``)."""
+        return np.concatenate(self.slices)
+
+
+class _DistributedFURXBase(QAOAFastSimulatorBase):
+    """Shared distributed simulation logic; subclasses supply the global-qubit step."""
+
+    mixer_name = "x"
+
+    def __init__(self, n_qubits: int, terms=None, costs=None, *,
+                 n_ranks: int = 4, block_size: int = DEFAULT_BLOCK_SIZE,
+                 parallel_local: bool = False) -> None:
+        if n_ranks <= 0 or n_ranks & (n_ranks - 1):
+            raise ValueError(f"n_ranks must be a positive power of two, got {n_ranks}")
+        k = n_ranks.bit_length() - 1
+        if 2 * k > n_qubits:
+            raise ValueError(
+                f"Algorithm 4 requires 2*log2(K) <= n; got K={n_ranks}, n={n_qubits}"
+            )
+        self._n_ranks = int(n_ranks)
+        self._k_global = k
+        self._block_size = int(block_size)
+        self._parallel_local = bool(parallel_local)
+        self.traffic_log: list[TrafficTrace] = []
+        super().__init__(n_qubits, terms=terms, costs=costs)
+
+    # -- construction ------------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Number of virtual ranks (GPUs) the state is distributed over."""
+        return self._n_ranks
+
+    @property
+    def n_local_qubits(self) -> int:
+        """Number of local (per-rank) qubits ``n − log2 K``."""
+        return self._n_qubits - self._k_global
+
+    @property
+    def local_states(self) -> int:
+        """Amplitudes per rank."""
+        return 1 << self.n_local_qubits
+
+    def _precompute_diagonal(self, terms) -> np.ndarray:
+        """Slice-local precomputation (no communication), then a host mirror."""
+        s = self.local_states
+        self._cost_slices = [
+            precompute_cost_diagonal_slice(terms, self._n_qubits, r * s, (r + 1) * s)
+            for r in range(self._n_ranks)
+        ]
+        return np.concatenate(self._cost_slices)
+
+    def _ingest_costs(self, costs):
+        host = super()._ingest_costs(costs)
+        full = host.decompress() if hasattr(host, "decompress") else np.asarray(host, dtype=np.float64)
+        s = self.local_states
+        self._cost_slices = [full[r * s:(r + 1) * s] for r in range(self._n_ranks)]
+        return host
+
+    def _post_init(self) -> None:
+        self._workspace = [KernelWorkspace(self.local_states, self._block_size)
+                           for _ in range(self._n_ranks)]
+
+    # -- helpers -------------------------------------------------------------------
+    def _map_ranks(self, fn) -> None:
+        """Run a per-rank callable, optionally on a thread pool."""
+        if self._parallel_local and self._n_ranks > 1:
+            with ThreadPoolExecutor(max_workers=min(self._n_ranks, 8)) as pool:
+                list(pool.map(fn, range(self._n_ranks)))
+        else:
+            for r in range(self._n_ranks):
+                fn(r)
+
+    def _initial_slices(self, sv0: np.ndarray | None) -> list[np.ndarray]:
+        s = self.local_states
+        if sv0 is None:
+            amp = 1.0 / np.sqrt(self._n_states)
+            return [np.full(s, amp, dtype=np.complex128) for _ in range(self._n_ranks)]
+        full = self._validate_sv0(sv0)
+        return [np.array(full[r * s:(r + 1) * s], copy=True) for r in range(self._n_ranks)]
+
+    def _apply_phase(self, slices: list[np.ndarray], gamma: float) -> None:
+        def work(r: int) -> None:
+            apply_phase_inplace(slices[r], self._cost_slices[r], gamma, self._workspace[r])
+
+        self._map_ranks(work)
+
+    def _apply_local_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
+        """Rotations on the local qubits 0 … n−k−1 (Algorithm 4, lines 2–4)."""
+        def work(r: int) -> None:
+            for q in range(self.n_local_qubits):
+                apply_su2_blocked(slices[r], a, b, q, self._workspace[r])
+
+        self._map_ranks(work)
+
+    def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
+        """Rotations on the k global qubits — strategy-specific (communication)."""
+        raise NotImplementedError
+
+    # -- simulation -------------------------------------------------------------------
+    def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
+                      sv0: np.ndarray | None = None, **kwargs: Any) -> DistributedStateVector:
+        """Evolve the distributed state through p QAOA layers."""
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        g, b_angles = validate_angles(gammas, betas)
+        slices = self._initial_slices(sv0)
+        for gamma, beta in zip(g, b_angles):
+            self._apply_phase(slices, float(gamma))
+            a, b = su2_x_rotation(float(beta))
+            self._apply_local_mixer(slices, a, b)
+            if self._k_global > 0:
+                self._apply_global_mixer(slices, a, b)
+        return DistributedStateVector(slices=slices, n_qubits=self._n_qubits)
+
+    # -- output methods ------------------------------------------------------------------
+    def get_statevector(self, result: DistributedStateVector, *, mpi_gather: bool = True,
+                        **kwargs: Any) -> np.ndarray | list[np.ndarray]:
+        """Full state vector (``mpi_gather=True``) or the raw per-rank slices."""
+        if mpi_gather:
+            return result.gather()
+        return result.slices
+
+    def get_probabilities(self, result: DistributedStateVector, preserve_state: bool = True,
+                          *, mpi_gather: bool = True, **kwargs: Any) -> np.ndarray | list[np.ndarray]:
+        """Measurement probabilities (gathered by default)."""
+        probs = [np.abs(s) ** 2 for s in result.slices]
+        if mpi_gather:
+            return np.concatenate(probs)
+        return probs
+
+    def get_expectation(self, result: DistributedStateVector, costs=None,
+                        preserve_state: bool = True, **kwargs: Any) -> float:
+        """Objective value: per-rank partial inner products + an allreduce(sum)."""
+        if costs is None:
+            cost_slices = self._cost_slices
+        else:
+            full = self._resolve_costs(costs)
+            s = self.local_states
+            cost_slices = [full[r * s:(r + 1) * s] for r in range(self._n_ranks)]
+        partial = 0.0
+        for sv, c in zip(result.slices, cost_slices):
+            partial += float(np.dot(np.abs(sv) ** 2, c))
+        return partial
+
+    def get_overlap(self, result: DistributedStateVector, costs=None, indices=None,
+                    preserve_state: bool = True, **kwargs: Any) -> float:
+        """Ground-state overlap computed slice-locally and reduced."""
+        diag = self.get_cost_diagonal() if costs is None else self._resolve_costs(costs)
+        if indices is None:
+            indices = np.flatnonzero(diag == diag.min())
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("overlap requested against an empty set of indices")
+        if idx.min() < 0 or idx.max() >= self._n_states:
+            raise ValueError("overlap indices out of range")
+        s = self.local_states
+        total = 0.0
+        for r, sv in enumerate(result.slices):
+            local = idx[(idx >= r * s) & (idx < (r + 1) * s)] - r * s
+            if local.size:
+                total += float(np.sum(np.abs(sv[local]) ** 2))
+        return total
+
+
+class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
+    """Distributed FUR simulator using the Alltoall strategy (Algorithm 4)."""
+
+    backend_name = "gpumpi"
+
+    def __init__(self, n_qubits: int, terms=None, costs=None, *, n_ranks: int = 4,
+                 alltoall_algorithm: str = "direct",
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 parallel_local: bool = False) -> None:
+        if alltoall_algorithm not in ALLTOALL_ALGORITHMS:
+            raise ValueError(
+                f"unknown alltoall algorithm {alltoall_algorithm!r}; "
+                f"available: {sorted(ALLTOALL_ALGORITHMS)}"
+            )
+        self.alltoall_algorithm = alltoall_algorithm
+        super().__init__(n_qubits, terms=terms, costs=costs, n_ranks=n_ranks,
+                         block_size=block_size, parallel_local=parallel_local)
+
+    def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
+        # First Alltoall: transpose global and (top-k local) qubits.
+        new_slices, trace = alltoall(slices, self.alltoall_algorithm)
+        self.traffic_log.append(trace)
+        for r in range(self._n_ranks):
+            slices[r][:] = new_slices[r]
+        # Rotate the previously-global qubits, now at local positions d = q − k.
+        def work(r: int) -> None:
+            for q in range(self._n_qubits - self._k_global, self._n_qubits):
+                apply_su2_blocked(slices[r], a, b, q - self._k_global, self._workspace[r])
+
+        self._map_ranks(work)
+        # Second Alltoall: restore the original qubit ordering.
+        new_slices, trace = alltoall(slices, self.alltoall_algorithm)
+        self.traffic_log.append(trace)
+        for r in range(self._n_ranks):
+            slices[r][:] = new_slices[r]
+
+
+class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
+    """Distributed FUR simulator using cuStateVec-style index-bit swaps."""
+
+    backend_name = "cusvmpi"
+
+    def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
+        n_local = self.n_local_qubits
+        half = 1 << (n_local - 1)
+        trace = TrafficTrace()
+        for j in range(self._k_global):
+            self._swap_global_with_top_local(slices, j, half, trace)
+            # The global qubit now occupies the top local position; rotate it.
+            def work(r: int) -> None:
+                apply_su2_blocked(slices[r], a, b, n_local - 1, self._workspace[r])
+
+            self._map_ranks(work)
+            self._swap_global_with_top_local(slices, j, half, trace)
+        self.traffic_log.append(trace)
+
+    def _swap_global_with_top_local(self, slices: list[np.ndarray], global_bit: int,
+                                    half: int, trace: TrafficTrace) -> None:
+        """Pairwise exchange implementing the index swap of rank bit ``global_bit``
+        with the top local qubit."""
+        for r in range(self._n_ranks):
+            partner = r ^ (1 << global_bit)
+            if partner < r:
+                continue  # each unordered pair is handled once
+            g = (r >> global_bit) & 1
+            # rank r sends the half whose top local bit differs from its rank bit g;
+            # the partner (rank bit 1-g) sends the complementary half.
+            r_lo, r_hi = (0, half) if g == 1 else (half, 2 * half)
+            p_lo, p_hi = (half, 2 * half) if g == 1 else (0, half)
+            buf = slices[r][r_lo:r_hi].copy()
+            slices[r][r_lo:r_hi] = slices[partner][p_lo:p_hi]
+            slices[partner][p_lo:p_hi] = buf
+            nbytes = buf.nbytes
+            trace.add(r, partner, nbytes, global_bit)
+            trace.add(partner, r, nbytes, global_bit)

@@ -1,0 +1,120 @@
+"""Fast uniform SU(2) rotations on a state vector (Algorithms 1 and 2).
+
+These kernels implement the paper's mixer-application primitive: a single
+SU(2) rotation applied to one qubit of a 2^n state vector, in place
+(Algorithm 1), and the "uniform" transform applying the same rotation to every
+qubit in sequence (Algorithm 2).  For the transverse-field mixer
+``exp(-i β Σ_i X_i)`` the per-qubit rotation is ``exp(-i β X)``; one full pass
+over all qubits has the same cost as one fast Walsh–Hadamard transform, which
+is the minimum possible for an operator coupling all 2^n amplitudes.
+
+The NumPy implementation reshapes the state vector so the target qubit becomes
+an explicit axis and updates the two half-slices with vectorized arithmetic.
+The update uses a single temporary of half the state-vector size (the paper's
+CUDA kernel updates amplitude pairs truly in place; in NumPy a half-slice
+temporary is the idiomatic equivalent — see ``repro.fur.cvect`` for the
+cache-blocked variant that bounds the temporary size).
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+__all__ = [
+    "apply_su2",
+    "furx",
+    "furx_all",
+    "su2_x_rotation",
+    "fwht_inplace",
+]
+
+
+def su2_x_rotation(beta: float) -> tuple[complex, complex]:
+    """SU(2) parameters ``(a, b)`` of ``exp(-i β X)``.
+
+    The gate is ``cos(β) I − i sin(β) X``; in the paper's parameterization
+    ``U = [[a, −b*], [b, a*]]`` this is ``a = cos β``, ``b = −i sin β``.
+    """
+    return complex(np.cos(beta)), -1j * complex(np.sin(beta))
+
+
+def apply_su2(statevector: np.ndarray, a: complex, b: complex, qubit: int) -> np.ndarray:
+    """Apply ``U = [[a, −b*], [b, a*]]`` to ``qubit`` of ``statevector``, in place.
+
+    This is Algorithm 1 with the index arithmetic replaced by a reshape: axis
+    layout ``(high bits, target bit, low bits)`` exposes the amplitude pairs
+    ``(y_{l1}, y_{l2})`` as two contiguous slabs.
+
+    Parameters
+    ----------
+    statevector:
+        Complex array of length 2^n, modified in place and also returned.
+    a, b:
+        SU(2) matrix entries (``|a|² + |b|² = 1`` for a unitary; not enforced,
+        which allows non-unitary SU(2)-shaped updates in tests).
+    qubit:
+        Target qubit, with qubit ``q`` addressing stride ``2**q``.
+    """
+    n_states = statevector.shape[0]
+    stride = 1 << qubit
+    if qubit < 0 or stride * 2 > n_states:
+        raise ValueError(f"qubit {qubit} out of range for state vector of length {n_states}")
+    view = statevector.reshape(-1, 2, stride)
+    lo = view[:, 0, :]
+    hi = view[:, 1, :]
+    tmp = lo.copy()
+    # y_l1 <- a*y_l1 - b*.y_l2 ; y_l2 <- b*y_l1_old + a*.y_l2   (simultaneous)
+    lo *= a
+    lo -= np.conj(b) * hi
+    hi *= np.conj(a)
+    hi += b * tmp
+    return statevector
+
+
+def furx(statevector: np.ndarray, beta: float, qubit: int) -> np.ndarray:
+    """Apply ``exp(-i β X)`` to a single qubit, in place (one mixer factor)."""
+    a, b = su2_x_rotation(beta)
+    return apply_su2(statevector, a, b, qubit)
+
+
+def furx_all(statevector: np.ndarray, beta: float, n_qubits: int) -> np.ndarray:
+    """Apply the full transverse-field mixer ``exp(-i β Σ_i X_i)``, in place.
+
+    This is Algorithm 2: the product of commuting single-qubit rotations is
+    applied one qubit at a time.  At ``β = π/2`` the operation reduces (up to a
+    global phase) to the Walsh–Hadamard transform, the connection highlighted
+    in Sec. III-B of the paper.
+    """
+    if statevector.shape[0] != (1 << n_qubits):
+        raise ValueError(
+            f"state vector length {statevector.shape[0]} does not match n={n_qubits}"
+        )
+    a, b = su2_x_rotation(beta)
+    for q in range(n_qubits):
+        apply_su2(statevector, a, b, q)
+    return statevector
+
+
+def fwht_inplace(vector: np.ndarray) -> np.ndarray:
+    """Unnormalized fast Walsh–Hadamard transform, in place.
+
+    Provided for the mixer-strategy ablation (Sec. VII discusses the
+    alternative of simulating the mixer with two WHTs sandwiching a diagonal):
+    ``exp(-i β Σ X_i) = H^{⊗n} · exp(-i β Σ Z_i) · H^{⊗n}``.  The butterfly
+    below is the standard radix-2 transform with the same access pattern as
+    :func:`apply_su2`.
+    """
+    n_states = vector.shape[0]
+    if n_states & (n_states - 1):
+        raise ValueError("FWHT requires a power-of-two length")
+    h = 1
+    while h < n_states:
+        view = vector.reshape(-1, 2, h)
+        lo = view[:, 0, :].copy()
+        hi = view[:, 1, :]
+        view[:, 0, :] = lo + hi
+        view[:, 1, :] = lo - hi
+        h *= 2
+    return vector

@@ -1,0 +1,121 @@
+"""Portable NumPy QAOA simulators (the paper's ``python`` backend).
+
+Each class implements Algorithm 3: the cost diagonal is precomputed once (in
+the constructor, via the base class), and each layer applies
+
+1. the phase operator as an element-wise multiplication of the state vector
+   with ``exp(-i γ_l · c)``, and
+2. the mixer via the fast uniform SU(2) kernels (Algorithms 1–2) or their XY
+   extensions.
+
+The three classes differ only in the mixer (transverse-field X, XY-ring,
+XY-complete), mirroring QOKit's simulator families.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from ..base import QAOAFastSimulatorBase, validate_angles
+from .furx import furx_all
+from .furxy import furxy_complete, furxy_ring
+
+__all__ = [
+    "QAOAFURXSimulator",
+    "QAOAFURXYRingSimulator",
+    "QAOAFURXYCompleteSimulator",
+]
+
+
+class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
+    """Shared host-NumPy simulation loop; subclasses supply the mixer."""
+
+    backend_name = "python"
+
+    def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
+        raise NotImplementedError
+
+    def _apply_phase(self, sv: np.ndarray, gamma: float) -> None:
+        """Phase operator: ``sv[x] *= exp(-i γ c[x])`` (Algorithm 3, line 4)."""
+        costs = self.get_cost_diagonal()
+        sv *= np.exp(costs * (-1j * gamma))
+
+    def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
+                      sv0: np.ndarray | None = None, *, n_trotters: int = 1,
+                      **kwargs: Any) -> np.ndarray:
+        """Evolve the initial state through ``p`` QAOA layers.
+
+        Parameters
+        ----------
+        gammas, betas:
+            The QAOA angles (equal length ``p``); layer ``l`` applies
+            ``exp(-i β_l M) exp(-i γ_l C)``.
+        sv0:
+            Optional initial state (defaults to ``|+>^n``).
+        n_trotters:
+            Number of Trotter slices used per mixer application by the XY
+            mixers (ignored by the X mixer, whose factors commute exactly).
+
+        Returns
+        -------
+        numpy.ndarray
+            The evolved state vector (the backend's *result* object).
+        """
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        g, b = validate_angles(gammas, betas)
+        sv = self._validate_sv0(sv0)
+        for gamma, beta in zip(g, b):
+            self._apply_phase(sv, float(gamma))
+            self._apply_mixer(sv, float(beta), n_trotters)
+        return sv
+
+    # -- output methods ------------------------------------------------------
+    def get_statevector(self, result: np.ndarray, **kwargs: Any) -> np.ndarray:
+        """Return the evolved state vector (host array)."""
+        return np.asarray(result)
+
+    def get_probabilities(self, result: np.ndarray, preserve_state: bool = True,
+                          **kwargs: Any) -> np.ndarray:
+        """Measurement probabilities |ψ_x|²."""
+        sv = np.asarray(result)
+        if preserve_state:
+            return np.abs(sv) ** 2
+        # In-place variant: reuse the state-vector buffer's real view.
+        np.multiply(sv, np.conj(sv), out=sv)
+        return sv.real
+
+
+class QAOAFURXSimulator(_QAOAFURPythonSimulatorBase):
+    """QAOA with the transverse-field mixer ``exp(-i β Σ_i X_i)`` (NumPy)."""
+
+    mixer_name = "x"
+
+    def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
+        # The X-mixer factors commute, so Trotterization is exact and unused.
+        furx_all(sv, beta, self._n_qubits)
+
+
+class QAOAFURXYRingSimulator(_QAOAFURPythonSimulatorBase):
+    """QAOA with the ring XY mixer (Hamming-weight preserving, NumPy)."""
+
+    mixer_name = "xyring"
+
+    def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
+        for _ in range(n_trotters):
+            furxy_ring(sv, beta / n_trotters, self._n_qubits)
+
+
+class QAOAFURXYCompleteSimulator(_QAOAFURPythonSimulatorBase):
+    """QAOA with the complete-graph XY mixer (Hamming-weight preserving, NumPy)."""
+
+    mixer_name = "xycomplete"
+
+    def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
+        for _ in range(n_trotters):
+            furxy_complete(sv, beta / n_trotters, self._n_qubits)

@@ -1,0 +1,27 @@
+"""Simulated-GPU backend (the paper's numba-CUDA ``nbcuda`` simulator analogue)."""
+
+from .device import (
+    A100_40GB,
+    A100_80GB,
+    DeviceArray,
+    DeviceSpec,
+    DeviceStats,
+    SimulatedDevice,
+)
+from .qaoa_simulator import (
+    QAOAFURXSimulatorGPU,
+    QAOAFURXYCompleteSimulatorGPU,
+    QAOAFURXYRingSimulatorGPU,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "DeviceStats",
+    "DeviceArray",
+    "SimulatedDevice",
+    "A100_40GB",
+    "A100_80GB",
+    "QAOAFURXSimulatorGPU",
+    "QAOAFURXYRingSimulatorGPU",
+    "QAOAFURXYCompleteSimulatorGPU",
+]

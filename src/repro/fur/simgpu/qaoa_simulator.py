@@ -1,0 +1,169 @@
+"""Simulated-GPU QAOA simulators (the paper's ``nbcuda`` backend analogue).
+
+The state vector and the precomputed cost diagonal are resident on a
+:class:`~repro.fur.simgpu.device.SimulatedDevice`; all per-layer work happens
+through device kernels, and the output methods transfer results back to the
+host (honouring ``preserve_state``, as in Listing 3 of the paper).  Numerical
+results are identical to the CPU backends; in addition the simulator exposes
+``modeled_device_time()`` so the benchmark harness can report projected A100
+timings next to measured host timings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from ..base import QAOAFastSimulatorBase, validate_angles
+from ..cvect.kernels import DEFAULT_BLOCK_SIZE, KernelWorkspace
+from ..diagonal import term_masks_and_weights
+from .device import A100_80GB, DeviceArray, DeviceSpec, SimulatedDevice
+from .kernels import (
+    device_apply_phase,
+    device_expectation,
+    device_furx_all,
+    device_furxy_complete,
+    device_furxy_ring,
+    device_overlap,
+    device_precompute_diagonal,
+    device_probabilities,
+)
+
+__all__ = [
+    "QAOAFURXSimulatorGPU",
+    "QAOAFURXYRingSimulatorGPU",
+    "QAOAFURXYCompleteSimulatorGPU",
+]
+
+
+class _QAOAFURGPUSimulatorBase(QAOAFastSimulatorBase):
+    """Shared device-resident simulation loop; subclasses supply the mixer."""
+
+    backend_name = "gpu"
+
+    def __init__(self, n_qubits: int, terms=None, costs=None, *,
+                 device: SimulatedDevice | None = None,
+                 device_spec: DeviceSpec = A100_80GB,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        self._device = device if device is not None else SimulatedDevice(device_spec)
+        self._block_size = int(block_size)
+        super().__init__(n_qubits, terms=terms, costs=costs)
+
+    # -- construction hooks ----------------------------------------------------
+    def _precompute_diagonal(self, terms) -> np.ndarray:
+        """Precompute the diagonal *on the device* and mirror it on the host."""
+        masks, weights, offset = term_masks_and_weights(terms, self._n_qubits)
+        self._costs_device = device_precompute_diagonal(
+            self._device, masks, weights, offset, 0, self._n_states
+        )
+        return np.array(self._costs_device.data, copy=True)
+
+    def _ingest_costs(self, costs):
+        host = super()._ingest_costs(costs)
+        host_arr = host.decompress() if hasattr(host, "decompress") else np.asarray(host, dtype=np.float64)
+        self._costs_device = self._device.to_device(host_arr)
+        return host
+
+    def _post_init(self) -> None:
+        self._workspace = KernelWorkspace(self._n_states, self._block_size)
+
+    # -- properties --------------------------------------------------------------
+    @property
+    def device(self) -> SimulatedDevice:
+        """The simulated accelerator owning this simulator's buffers."""
+        return self._device
+
+    def modeled_device_time(self) -> float:
+        """Modeled accelerator time accumulated so far (seconds)."""
+        return self._device.modeled_time
+
+    def reset_device_clock(self) -> None:
+        """Zero the modeled-time counters (keeps allocations)."""
+        self._device.reset_clock()
+
+    # -- simulation ----------------------------------------------------------------
+    def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
+        raise NotImplementedError
+
+    def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
+                      sv0: np.ndarray | None = None, *, n_trotters: int = 1,
+                      **kwargs: Any) -> DeviceArray:
+        """Evolve through p layers on the device; returns a device-resident result."""
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        g, b = validate_angles(gammas, betas)
+        sv_host = self._validate_sv0(sv0)
+        sv = self._device.to_device(sv_host)
+        for gamma, beta in zip(g, b):
+            device_apply_phase(sv, self._costs_device, float(gamma), self._workspace)
+            self._apply_mixer(sv, float(beta), n_trotters)
+        return sv
+
+    # -- output methods (always host values) ------------------------------------------
+    def get_statevector(self, result: DeviceArray, **kwargs: Any) -> np.ndarray:
+        """Device→host copy of the evolved state."""
+        return result.copy_to_host()
+
+    def get_probabilities(self, result: DeviceArray, preserve_state: bool = True,
+                          **kwargs: Any) -> np.ndarray:
+        """Measurement probabilities, computed on device and copied to the host."""
+        probs = device_probabilities(result, preserve_state=preserve_state)
+        return probs.copy_to_host().astype(np.float64, copy=False)
+
+    def get_expectation(self, result: DeviceArray, costs=None,
+                        preserve_state: bool = True, **kwargs: Any) -> float:
+        """Objective value via a device-side reduction (no 2^n host transfer)."""
+        if costs is None:
+            return device_expectation(result, self._costs_device, self._workspace)
+        host_costs = self._resolve_costs(costs)
+        costs_dev = self._device.to_device(host_costs)
+        try:
+            return device_expectation(result, costs_dev, self._workspace)
+        finally:
+            costs_dev.free()
+
+    def get_overlap(self, result: DeviceArray, costs=None, indices=None,
+                    preserve_state: bool = True, **kwargs: Any) -> float:
+        """Ground-state overlap via a device-side gather + reduction."""
+        if indices is None:
+            diag = self.get_cost_diagonal() if costs is None else self._resolve_costs(costs)
+            indices = np.flatnonzero(diag == diag.min())
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise ValueError("overlap requested against an empty set of indices")
+        if idx.min() < 0 or idx.max() >= self._n_states:
+            raise ValueError("overlap indices out of range")
+        return device_overlap(result, idx)
+
+
+class QAOAFURXSimulatorGPU(_QAOAFURGPUSimulatorBase):
+    """QAOA with the transverse-field mixer on the simulated GPU."""
+
+    mixer_name = "x"
+
+    def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
+        device_furx_all(sv, beta, self._n_qubits, self._workspace)
+
+
+class QAOAFURXYRingSimulatorGPU(_QAOAFURGPUSimulatorBase):
+    """QAOA with the ring XY mixer on the simulated GPU."""
+
+    mixer_name = "xyring"
+
+    def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
+        for _ in range(n_trotters):
+            device_furxy_ring(sv, beta / n_trotters, self._n_qubits, self._workspace)
+
+
+class QAOAFURXYCompleteSimulatorGPU(_QAOAFURGPUSimulatorBase):
+    """QAOA with the complete-graph XY mixer on the simulated GPU."""
+
+    mixer_name = "xycomplete"
+
+    def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
+        for _ in range(n_trotters):
+            device_furxy_complete(sv, beta / n_trotters, self._n_qubits, self._workspace)

@@ -1,0 +1,42 @@
+"""Gate-based state-vector simulator substrate (the paper's baseline).
+
+Provides the gate library, circuit IR, term→gate compilation, a gate-by-gate
+state-vector simulator, a greedy gate-fusion pass, and a QAOA facade class
+(:class:`~repro.gates.qaoa.QAOAGateBasedSimulator`) exposing the same API as
+the fast simulators in :mod:`repro.fur`.
+"""
+
+from . import gate
+from .circuit import QuantumCircuit
+from .compile import (
+    compile_mixer_x,
+    compile_mixer_xy_complete,
+    compile_mixer_xy_ring,
+    compile_phase_separator,
+    initial_plus_state_circuit,
+    phase_separator_gate_count,
+)
+from .fusion import embed_gate_matrix, fuse_circuit, fuse_gates
+from .gate import Gate
+from .qaoa import QAOAGateBasedSimulator, build_qaoa_circuit, qaoa_layer_circuit
+from .statevector import StatevectorSimulator, apply_gate
+
+__all__ = [
+    "gate",
+    "Gate",
+    "QuantumCircuit",
+    "StatevectorSimulator",
+    "apply_gate",
+    "compile_phase_separator",
+    "compile_mixer_x",
+    "compile_mixer_xy_ring",
+    "compile_mixer_xy_complete",
+    "initial_plus_state_circuit",
+    "phase_separator_gate_count",
+    "build_qaoa_circuit",
+    "qaoa_layer_circuit",
+    "QAOAGateBasedSimulator",
+    "fuse_gates",
+    "fuse_circuit",
+    "embed_gate_matrix",
+]

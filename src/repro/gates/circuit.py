@@ -1,0 +1,147 @@
+"""Quantum circuit container for the gate-based baseline simulator."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from . import gate as gates_lib
+from .gate import Gate
+
+__all__ = ["QuantumCircuit"]
+
+
+class QuantumCircuit:
+    """An ordered list of gates on ``n`` qubits.
+
+    This deliberately mirrors the minimal surface of mainstream circuit IRs
+    (append gates, iterate, count, compose): the baseline simulator's defining
+    property is that it walks this list gate by gate, so the container itself
+    stays simple.
+    """
+
+    def __init__(self, n_qubits: int, gates: Iterable[Gate] | None = None) -> None:
+        if n_qubits <= 0:
+            raise ValueError("a circuit needs at least one qubit")
+        self._n_qubits = int(n_qubits)
+        self._gates: list[Gate] = []
+        if gates is not None:
+            for g in gates:
+                self.append(g)
+
+    # -- construction --------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate (validating its qubit indices) and return ``self``."""
+        if max(gate.qubits) >= self._n_qubits:
+            raise ValueError(
+                f"gate {gate.name} on qubits {gate.qubits} does not fit a "
+                f"{self._n_qubits}-qubit circuit"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, new_gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append several gates."""
+        for g in new_gates:
+            self.append(g)
+        return self
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Concatenate another circuit (must have the same qubit count)."""
+        if other.n_qubits != self._n_qubits:
+            raise ValueError("cannot compose circuits with different qubit counts")
+        return QuantumCircuit(self._n_qubits, list(self._gates) + list(other.gates))
+
+    def copy(self) -> "QuantumCircuit":
+        """Shallow copy (gates are immutable)."""
+        return QuantumCircuit(self._n_qubits, self._gates)
+
+    def inverse(self) -> "QuantumCircuit":
+        """Circuit implementing the adjoint unitary (reversed daggered gates)."""
+        return QuantumCircuit(self._n_qubits, [g.dagger() for g in reversed(self._gates)])
+
+    # -- convenience gate builders -------------------------------------------
+    def h(self, qubit: int) -> "QuantumCircuit":
+        """Append a Hadamard."""
+        return self.append(gates_lib.h(qubit))
+
+    def x(self, qubit: int) -> "QuantumCircuit":
+        """Append a Pauli-X."""
+        return self.append(gates_lib.x(qubit))
+
+    def rx(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append an RX rotation."""
+        return self.append(gates_lib.rx(theta, qubit))
+
+    def rz(self, theta: float, qubit: int) -> "QuantumCircuit":
+        """Append an RZ rotation."""
+        return self.append(gates_lib.rz(theta, qubit))
+
+    def rzz(self, theta: float, qubit_a: int, qubit_b: int) -> "QuantumCircuit":
+        """Append an RZZ rotation."""
+        return self.append(gates_lib.rzz(theta, qubit_a, qubit_b))
+
+    def cnot(self, control: int, target: int) -> "QuantumCircuit":
+        """Append a CNOT."""
+        return self.append(gates_lib.cnot(control, target))
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits."""
+        return self._n_qubits
+
+    @property
+    def gates(self) -> list[Gate]:
+        """The gate list (a copy; the circuit owns its internal list)."""
+        return list(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates."""
+        return len(self._gates)
+
+    def gate_counts(self) -> dict[str, int]:
+        """Histogram of gate names (used in the gate-count comparisons of Sec. VI)."""
+        counts: dict[str, int] = {}
+        for g in self._gates:
+            counts[g.name] = counts.get(g.name, 0) + 1
+        return counts
+
+    def count_multiqubit_gates(self) -> int:
+        """Number of gates acting on two or more qubits."""
+        return sum(1 for g in self._gates if g.num_qubits >= 2)
+
+    def depth(self) -> int:
+        """Circuit depth (longest chain of gates sharing qubits)."""
+        frontier = [0] * self._n_qubits
+        for g in self._gates:
+            level = max(frontier[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                frontier[q] = level
+        return max(frontier, default=0)
+
+    def to_unitary(self) -> np.ndarray:
+        """Dense 2^n × 2^n unitary of the whole circuit (small n only, for tests)."""
+        if self._n_qubits > 12:
+            raise ValueError("to_unitary refused for n > 12")
+        from .statevector import StatevectorSimulator
+
+        sim = StatevectorSimulator()
+        dim = 1 << self._n_qubits
+        u = np.empty((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            sv = np.zeros(dim, dtype=np.complex128)
+            sv[col] = 1.0
+            u[:, col] = sim.run(self, initial_state=sv)
+        return u
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumCircuit(n_qubits={self._n_qubits}, num_gates={self.num_gates})"

@@ -1,0 +1,301 @@
+"""Gate library for the gate-based state-vector baseline simulator.
+
+The paper compares the precomputed-diagonal approach against "standard
+gate-based simulators such as Qiskit", in which the QAOA phase operator must
+be *compiled into gates* and re-applied gate by gate at every layer
+(Sec. III).  This package is that baseline, built from scratch: a small gate
+IR (:class:`Gate`), a circuit container, a compiler from cost-function terms
+to gates, and a state-vector simulator that applies one gate at a time.
+
+A :class:`Gate` stores the acting qubits and either a dense ``(2^k, 2^k)``
+unitary or, for diagonal gates, just the length-``2^k`` diagonal.  The matrix
+convention: the *first* listed qubit is the most significant bit of the gate's
+local basis index, so ``CNOT(control, target)`` has the textbook matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "identity",
+    "h",
+    "x",
+    "y",
+    "z",
+    "s",
+    "t",
+    "rx",
+    "ry",
+    "rz",
+    "cnot",
+    "cx",
+    "cz",
+    "swap",
+    "rzz",
+    "rxx",
+    "ryy",
+    "xx_plus_yy",
+    "multi_rz",
+    "global_phase",
+    "unitary",
+    "diagonal_gate",
+]
+
+
+def _check_unitary(matrix: np.ndarray, atol: float = 1e-10) -> None:
+    eye = np.eye(matrix.shape[0])
+    if not np.allclose(matrix.conj().T @ matrix, eye, atol=atol):
+        raise ValueError("gate matrix is not unitary")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A quantum gate acting on an ordered tuple of qubits.
+
+    Exactly one of ``matrix`` (dense ``(2^k, 2^k)`` unitary) or ``diagonal``
+    (length ``2^k`` complex vector) is set; diagonal gates are applied by the
+    simulator without building the dense matrix, matching how production
+    simulators special-case diagonal gates.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    matrix: np.ndarray | None = None
+    diagonal: np.ndarray | None = None
+    params: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"gate {self.name} has repeated qubits {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError(f"gate {self.name} has negative qubit indices {self.qubits}")
+        dim = 1 << len(self.qubits)
+        if (self.matrix is None) == (self.diagonal is None):
+            raise ValueError("exactly one of matrix/diagonal must be provided")
+        if self.matrix is not None:
+            mat = np.asarray(self.matrix, dtype=np.complex128)
+            if mat.shape != (dim, dim):
+                raise ValueError(
+                    f"gate {self.name} on {len(self.qubits)} qubit(s) needs a "
+                    f"{dim}x{dim} matrix, got {mat.shape}"
+                )
+            object.__setattr__(self, "matrix", mat)
+        if self.diagonal is not None:
+            diag = np.asarray(self.diagonal, dtype=np.complex128)
+            if diag.shape != (dim,):
+                raise ValueError(
+                    f"gate {self.name} on {len(self.qubits)} qubit(s) needs a "
+                    f"length-{dim} diagonal, got {diag.shape}"
+                )
+            object.__setattr__(self, "diagonal", diag)
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits the gate acts on."""
+        return len(self.qubits)
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True if the gate is stored (and applied) as a diagonal."""
+        return self.diagonal is not None
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix form (builds it from the diagonal if needed)."""
+        if self.matrix is not None:
+            return self.matrix
+        return np.diag(self.diagonal)
+
+    def dagger(self) -> "Gate":
+        """Hermitian adjoint of the gate."""
+        if self.is_diagonal:
+            return Gate(self.name + "_dg", self.qubits, diagonal=np.conj(self.diagonal),
+                        params=self.params)
+        return Gate(self.name + "_dg", self.qubits, matrix=self.matrix.conj().T,
+                    params=self.params)
+
+    def on(self, *qubits: int) -> "Gate":
+        """Copy of the gate re-targeted to different qubits."""
+        if len(qubits) != len(self.qubits):
+            raise ValueError(f"gate {self.name} acts on {len(self.qubits)} qubits")
+        return Gate(self.name, tuple(qubits), matrix=self.matrix, diagonal=self.diagonal,
+                    params=self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "diag" if self.is_diagonal else "dense"
+        return f"Gate({self.name!r}, qubits={self.qubits}, {kind})"
+
+
+# ---------------------------------------------------------------------------
+# Standard gates
+# ---------------------------------------------------------------------------
+
+_H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+_X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+_Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+
+
+def identity(qubit: int) -> Gate:
+    """Single-qubit identity (useful as a placeholder in tests)."""
+    return Gate("id", (qubit,), diagonal=np.ones(2, dtype=np.complex128))
+
+
+def h(qubit: int) -> Gate:
+    """Hadamard."""
+    return Gate("h", (qubit,), matrix=_H)
+
+
+def x(qubit: int) -> Gate:
+    """Pauli X."""
+    return Gate("x", (qubit,), matrix=_X)
+
+
+def y(qubit: int) -> Gate:
+    """Pauli Y."""
+    return Gate("y", (qubit,), matrix=_Y)
+
+
+def z(qubit: int) -> Gate:
+    """Pauli Z (diagonal)."""
+    return Gate("z", (qubit,), diagonal=np.array([1, -1], dtype=np.complex128))
+
+
+def s(qubit: int) -> Gate:
+    """Phase gate S = diag(1, i)."""
+    return Gate("s", (qubit,), diagonal=np.array([1, 1j], dtype=np.complex128))
+
+
+def t(qubit: int) -> Gate:
+    """T gate = diag(1, e^{iπ/4})."""
+    return Gate("t", (qubit,), diagonal=np.array([1, np.exp(1j * np.pi / 4)], dtype=np.complex128))
+
+
+def rx(theta: float, qubit: int) -> Gate:
+    """``RX(θ) = exp(-i θ X / 2)``."""
+    c, si = np.cos(theta / 2), np.sin(theta / 2)
+    mat = np.array([[c, -1j * si], [-1j * si, c]], dtype=np.complex128)
+    return Gate("rx", (qubit,), matrix=mat, params=(float(theta),))
+
+
+def ry(theta: float, qubit: int) -> Gate:
+    """``RY(θ) = exp(-i θ Y / 2)``."""
+    c, si = np.cos(theta / 2), np.sin(theta / 2)
+    mat = np.array([[c, -si], [si, c]], dtype=np.complex128)
+    return Gate("ry", (qubit,), matrix=mat, params=(float(theta),))
+
+
+def rz(theta: float, qubit: int) -> Gate:
+    """``RZ(θ) = exp(-i θ Z / 2) = diag(e^{-iθ/2}, e^{iθ/2})`` (diagonal)."""
+    diag = np.array([np.exp(-0.5j * theta), np.exp(0.5j * theta)], dtype=np.complex128)
+    return Gate("rz", (qubit,), diagonal=diag, params=(float(theta),))
+
+
+def cnot(control: int, target: int) -> Gate:
+    """Controlled-NOT; first qubit is the control."""
+    mat = np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=np.complex128
+    )
+    return Gate("cx", (control, target), matrix=mat)
+
+
+#: Alias matching common naming.
+cx = cnot
+
+
+def cz(qubit_a: int, qubit_b: int) -> Gate:
+    """Controlled-Z (diagonal, symmetric in its qubits)."""
+    return Gate("cz", (qubit_a, qubit_b),
+                diagonal=np.array([1, 1, 1, -1], dtype=np.complex128))
+
+
+def swap(qubit_a: int, qubit_b: int) -> Gate:
+    """SWAP gate."""
+    mat = np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+    )
+    return Gate("swap", (qubit_a, qubit_b), matrix=mat)
+
+
+def rzz(theta: float, qubit_a: int, qubit_b: int) -> Gate:
+    """``RZZ(θ) = exp(-i θ Z⊗Z / 2)`` (diagonal two-qubit rotation)."""
+    ph = np.exp(-0.5j * theta)
+    diag = np.array([ph, np.conj(ph), np.conj(ph), ph], dtype=np.complex128)
+    return Gate("rzz", (qubit_a, qubit_b), diagonal=diag, params=(float(theta),))
+
+
+def rxx(theta: float, qubit_a: int, qubit_b: int) -> Gate:
+    """``RXX(θ) = exp(-i θ X⊗X / 2)``."""
+    c, si = np.cos(theta / 2), -1j * np.sin(theta / 2)
+    mat = np.array(
+        [[c, 0, 0, si], [0, c, si, 0], [0, si, c, 0], [si, 0, 0, c]], dtype=np.complex128
+    )
+    return Gate("rxx", (qubit_a, qubit_b), matrix=mat, params=(float(theta),))
+
+
+def ryy(theta: float, qubit_a: int, qubit_b: int) -> Gate:
+    """``RYY(θ) = exp(-i θ Y⊗Y / 2)``."""
+    c = np.cos(theta / 2)
+    si = 1j * np.sin(theta / 2)
+    mat = np.array(
+        [[c, 0, 0, si], [0, c, -si, 0], [0, -si, c, 0], [si, 0, 0, c]], dtype=np.complex128
+    )
+    return Gate("ryy", (qubit_a, qubit_b), matrix=mat, params=(float(theta),))
+
+
+def xx_plus_yy(beta: float, qubit_a: int, qubit_b: int) -> Gate:
+    """``exp(-i β (X⊗X + Y⊗Y)/2)`` — the XY-mixer two-qubit factor.
+
+    Acts as identity on |00> and |11> and as the rotation
+    ``[[cos β, −i sin β], [−i sin β, cos β]]`` on the {|01>, |10>} block, so it
+    matches :func:`repro.fur.python.furxy.furxy` exactly.
+    """
+    c = np.cos(beta)
+    si = -1j * np.sin(beta)
+    mat = np.array(
+        [[1, 0, 0, 0], [0, c, si, 0], [0, si, c, 0], [0, 0, 0, 1]], dtype=np.complex128
+    )
+    return Gate("xx_plus_yy", (qubit_a, qubit_b), matrix=mat, params=(float(beta),))
+
+
+def multi_rz(theta: float, qubits: tuple[int, ...]) -> Gate:
+    """``exp(-i θ/2 · Z⊗Z⊗…⊗Z)`` on an arbitrary number of qubits (diagonal).
+
+    The diagonal entry for the local basis state with bit pattern ``b`` is
+    ``exp(-i θ/2 · (−1)^popcount(b))``.  This is the "one gate per term"
+    representation of the phase separator used by the naive (un-compiled)
+    baseline; the CNOT-ladder compiler in :mod:`repro.gates.compile` produces
+    the equivalent two-qubit-gate decomposition.
+    """
+    k = len(qubits)
+    if k == 0:
+        raise ValueError("multi_rz needs at least one qubit; use global_phase for constants")
+    dim = 1 << k
+    idx = np.arange(dim, dtype=np.uint64)
+    parity = (np.bitwise_count(idx) & np.uint64(1)).astype(np.float64)
+    sign = 1.0 - 2.0 * parity  # (-1)^popcount
+    diag = np.exp(-0.5j * theta * sign)
+    return Gate("multi_rz", tuple(qubits), diagonal=diag, params=(float(theta),))
+
+
+def global_phase(phase: float, qubit: int = 0) -> Gate:
+    """``e^{iφ}·I`` applied to one qubit (implements constant cost terms)."""
+    diag = np.exp(1j * phase) * np.ones(2, dtype=np.complex128)
+    return Gate("gphase", (qubit,), diagonal=diag, params=(float(phase),))
+
+
+def unitary(matrix: np.ndarray, qubits: tuple[int, ...], name: str = "unitary",
+            *, check: bool = True) -> Gate:
+    """Wrap an arbitrary dense unitary as a gate (used by the fusion pass)."""
+    mat = np.asarray(matrix, dtype=np.complex128)
+    if check:
+        _check_unitary(mat)
+    return Gate(name, tuple(qubits), matrix=mat)
+
+
+def diagonal_gate(diag: np.ndarray, qubits: tuple[int, ...], name: str = "diag") -> Gate:
+    """Wrap an arbitrary diagonal as a gate."""
+    return Gate(name, tuple(qubits), diagonal=np.asarray(diag, dtype=np.complex128))

@@ -1,0 +1,215 @@
+"""MPI-like communicator abstraction and an in-process threaded implementation.
+
+The paper's distributed simulation (Sec. III-C) runs one process per GPU and
+communicates through MPI collectives (``MPI_Alltoall``) or cuStateVec's
+peer-to-peer index-swap path.  Neither MPI nor GPUs are available in this
+environment, so this module provides the substitute substrate: a
+:class:`Communicator` interface with the collectives the simulator needs, and
+:class:`ThreadCluster` / :class:`ThreadCommunicator`, which execute an SPMD
+function on ``K`` Python threads over shared memory.  NumPy releases the GIL
+inside its kernels, so the threads genuinely overlap on multi-core hosts, and
+— more importantly for the reproduction — the simulator code is written
+exactly as it would be against mpi4py (per-rank slices, explicit collectives,
+no shared state outside the communicator).
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from collections.abc import Callable, Sequence
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Communicator", "ThreadCommunicator", "ThreadCluster"]
+
+
+class Communicator(abc.ABC):
+    """Minimal MPI-like communicator: the collectives Algorithm 4 relies on."""
+
+    @property
+    @abc.abstractmethod
+    def rank(self) -> int:
+        """This process's rank in [0, size)."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of ranks."""
+
+    @abc.abstractmethod
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+
+    @abc.abstractmethod
+    def alltoall(self, sendbuf: np.ndarray) -> np.ndarray:
+        """All-to-all exchange of equal-size subchunks.
+
+        ``sendbuf`` must have a length divisible by ``size``; subchunk ``j`` of
+        this rank's buffer is delivered to rank ``j``, which receives it as
+        subchunk ``rank`` of its result (the matrix-transposition semantics of
+        ``MPI_Alltoall`` described in the paper).
+        """
+
+    @abc.abstractmethod
+    def allreduce_sum(self, value: float | np.ndarray) -> float | np.ndarray:
+        """Sum a scalar (or array, elementwise) over all ranks."""
+
+    @abc.abstractmethod
+    def allgather(self, sendbuf: np.ndarray) -> list[np.ndarray]:
+        """Gather each rank's buffer on every rank (list indexed by rank)."""
+
+    @abc.abstractmethod
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        """Broadcast a Python object from ``root`` to all ranks."""
+
+    @abc.abstractmethod
+    def sendrecv(self, sendbuf: np.ndarray, peer: int) -> np.ndarray:
+        """Exchange buffers with a single peer rank (used by the index-swap path)."""
+
+
+class _SharedState:
+    """Shared rendezvous state owned by a :class:`ThreadCluster`."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: list[Any] = [None] * size
+        self.reduce_slots: list[Any] = [None] * size
+        self.lock = threading.Lock()
+
+
+class ThreadCommunicator(Communicator):
+    """Communicator backed by shared memory and a thread barrier."""
+
+    def __init__(self, rank: int, shared: _SharedState) -> None:
+        self._rank = rank
+        self._shared = shared
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._shared.size
+
+    def barrier(self) -> None:
+        self._shared.barrier.wait()
+
+    # -- collectives ---------------------------------------------------------
+    def alltoall(self, sendbuf: np.ndarray) -> np.ndarray:
+        size = self.size
+        sendbuf = np.ascontiguousarray(sendbuf)
+        if sendbuf.shape[0] % size != 0:
+            raise ValueError(
+                f"alltoall buffer length {sendbuf.shape[0]} not divisible by {size} ranks"
+            )
+        chunk = sendbuf.shape[0] // size
+        self._shared.slots[self._rank] = sendbuf
+        self.barrier()
+        recvbuf = np.empty_like(sendbuf)
+        for peer in range(size):
+            peer_buf = self._shared.slots[peer]
+            recvbuf[peer * chunk:(peer + 1) * chunk] = \
+                peer_buf[self._rank * chunk:(self._rank + 1) * chunk]
+        self.barrier()
+        # Each rank clears only its own slot: writing another rank's entry (or
+        # replacing the list) here would race with that rank already entering
+        # its next collective.
+        self._shared.slots[self._rank] = None
+        return recvbuf
+
+    def allreduce_sum(self, value: float | np.ndarray) -> float | np.ndarray:
+        self._shared.reduce_slots[self._rank] = value
+        self.barrier()
+        acc = self._shared.reduce_slots[0]
+        if isinstance(acc, np.ndarray):
+            acc = acc.copy()
+        for peer in range(1, self.size):
+            acc = acc + self._shared.reduce_slots[peer]
+        self.barrier()
+        self._shared.reduce_slots[self._rank] = None
+        return acc
+
+    def allgather(self, sendbuf: np.ndarray) -> list[np.ndarray]:
+        self._shared.slots[self._rank] = np.ascontiguousarray(sendbuf)
+        self.barrier()
+        gathered = [np.array(self._shared.slots[peer], copy=True) for peer in range(self.size)]
+        self.barrier()
+        self._shared.slots[self._rank] = None
+        return gathered
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        if not 0 <= root < self.size:
+            raise ValueError(f"invalid root {root}")
+        if self._rank == root:
+            self._shared.slots[root] = value
+        self.barrier()
+        out = self._shared.slots[root]
+        self.barrier()
+        if self._rank == root:
+            self._shared.slots[root] = None
+        return out
+
+    def sendrecv(self, sendbuf: np.ndarray, peer: int) -> np.ndarray:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"invalid peer rank {peer}")
+        if peer == self._rank:
+            return np.array(sendbuf, copy=True)
+        self._shared.slots[self._rank] = np.ascontiguousarray(sendbuf)
+        self.barrier()
+        out = np.array(self._shared.slots[peer], copy=True)
+        self.barrier()
+        self._shared.slots[self._rank] = None
+        return out
+
+
+class ThreadCluster:
+    """Runs an SPMD function on ``size`` threads, one per virtual rank.
+
+    Example
+    -------
+    >>> cluster = ThreadCluster(4)
+    >>> def spmd(comm):
+    ...     return comm.allreduce_sum(comm.rank)
+    >>> cluster.run(spmd)
+    [6, 6, 6, 6]
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("cluster size must be positive")
+        self.size = int(size)
+
+    def run(self, fn: Callable[..., Any],
+            per_rank_args: Sequence[tuple] | None = None) -> list[Any]:
+        """Execute ``fn(comm, *args)`` on every rank and return per-rank results.
+
+        Exceptions raised by any rank are re-raised in the caller (after all
+        threads have finished) so failures do not deadlock the barrier.
+        """
+        shared = _SharedState(self.size)
+        results: list[Any] = [None] * self.size
+        errors: list[BaseException | None] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            comm = ThreadCommunicator(rank, shared)
+            args = per_rank_args[rank] if per_rank_args is not None else ()
+            try:
+                results[rank] = fn(comm, *args)
+            except BaseException as exc:  # noqa: BLE001 - must not deadlock peers
+                errors[rank] = exc
+                shared.barrier.abort()
+
+        threads = [threading.Thread(target=worker, args=(r,), daemon=True)
+                   for r in range(self.size)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results

@@ -1,0 +1,112 @@
+"""Cluster topology description (nodes × GPUs, NVLink vs interconnect).
+
+Models the machine layout relevant to the paper's distributed experiments:
+Polaris compute nodes with 4 NVIDIA A100 GPUs each, NVLink within a node and
+a Slingshot-class interconnect between nodes, where inter-node transfers from
+GPU memory must additionally be staged through the host unless the
+communication library uses GPU-direct paths (the distinction the paper
+identifies as the reason the cuStateVec communication backend beats plain
+MPI_Alltoall in Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterTopology", "POLARIS_LIKE", "SINGLE_NODE_DGX"]
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Static description of the virtual cluster used by the performance model.
+
+    Bandwidths are unidirectional, in bytes/second; latencies in seconds.
+    """
+
+    gpus_per_node: int
+    #: peer-to-peer GPU bandwidth within a node (NVLink)
+    intra_node_bandwidth: float
+    #: network bandwidth between nodes, per GPU/NIC pair
+    inter_node_bandwidth: float
+    #: host staging bandwidth (GPU->CPU->NIC) used when GPU-direct is unavailable
+    host_staging_bandwidth: float
+    #: per-message latency within a node
+    intra_node_latency: float
+    #: per-message latency between nodes
+    inter_node_latency: float
+    #: GPU HBM bandwidth (bytes/s), used for the local kernel cost model
+    gpu_memory_bandwidth: float
+    #: GPU memory capacity in bytes (sets the largest local slice)
+    gpu_memory_capacity: float
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        for name in ("intra_node_bandwidth", "inter_node_bandwidth",
+                     "host_staging_bandwidth", "gpu_memory_bandwidth",
+                     "gpu_memory_capacity"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("intra_node_latency", "inter_node_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting the given GPU rank."""
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        return rank // self.gpus_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """True if the two ranks share a node (NVLink-connected)."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def num_nodes(self, n_ranks: int) -> int:
+        """Number of nodes needed to host ``n_ranks`` GPUs."""
+        return -(-n_ranks // self.gpus_per_node)
+
+    def link_bandwidth(self, rank_a: int, rank_b: int, *, gpu_direct: bool) -> float:
+        """Effective bandwidth of a transfer between two ranks.
+
+        Intra-node traffic uses NVLink when ``gpu_direct`` is true and host
+        staging otherwise; inter-node traffic uses the NIC bandwidth, reduced
+        to the host-staging bandwidth when the data must bounce through the
+        CPU (the paper's ``MPI_GPU_SUPPORT_ENABLED`` discussion).
+        """
+        if self.same_node(rank_a, rank_b):
+            return self.intra_node_bandwidth if gpu_direct else self.host_staging_bandwidth
+        if gpu_direct:
+            return self.inter_node_bandwidth
+        return min(self.inter_node_bandwidth, self.host_staging_bandwidth)
+
+    def link_latency(self, rank_a: int, rank_b: int) -> float:
+        """Per-message latency between two ranks."""
+        return self.intra_node_latency if self.same_node(rank_a, rank_b) else self.inter_node_latency
+
+
+#: Topology calibrated to the paper's Polaris runs: 4×A100-40GB per node,
+#: NVLink ~300 GB/s effective, ~25 GB/s per-GPU network injection, ~20 GB/s
+#: host staging (PCIe + copies), HBM ~1.5 TB/s.
+POLARIS_LIKE = ClusterTopology(
+    gpus_per_node=4,
+    intra_node_bandwidth=300e9,
+    inter_node_bandwidth=25e9,
+    host_staging_bandwidth=20e9,
+    intra_node_latency=5e-6,
+    inter_node_latency=20e-6,
+    gpu_memory_bandwidth=1.5e12,
+    gpu_memory_capacity=40e9,
+)
+
+#: A single fat node with 8 GPUs and 80 GB each (DGX-like), used in tests and
+#: the single-node GPU benchmarks.
+SINGLE_NODE_DGX = ClusterTopology(
+    gpus_per_node=8,
+    intra_node_bandwidth=600e9,
+    inter_node_bandwidth=50e9,
+    host_staging_bandwidth=25e9,
+    intra_node_latency=3e-6,
+    inter_node_latency=15e-6,
+    gpu_memory_bandwidth=2.0e12,
+    gpu_memory_capacity=80e9,
+)

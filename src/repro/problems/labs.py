@@ -1,0 +1,231 @@
+"""Low Autocorrelation Binary Sequences (LABS) problem.
+
+The LABS problem asks for a ±1 sequence ``s`` of length ``n`` minimizing the
+*sidelobe energy*
+
+    E(s) = sum_{k=1}^{n-1} C_k(s)^2,      C_k(s) = sum_{i=1}^{n-k} s_i s_{i+k}
+
+or, equivalently, maximizing the *merit factor* ``F(s) = n^2 / (2 E(s))``.
+LABS is the headline workload of the paper (Figs. 3–5): its cost polynomial has
+Θ(n²) terms, many of them quartic, which makes the phase operator very deep for
+gate-based simulators and therefore maximally favours the precomputed-diagonal
+approach.
+
+Term generation here expands ``Σ_k C_k²`` symbolically over spin variables
+(using ``s_i² = 1``) rather than transcribing the closed-form expression in the
+paper — the expansion is validated against direct energy evaluation in the
+test-suite, which guards against transcription errors.  The resulting term
+list contains two-body and four-body terms plus the constant offset
+``Σ_{k=1}^{n-1} (n-k)``; the offset can be dropped to mirror QOKit's ``terms``
+convention.
+
+The module also ships the table of known optimal energies (verified by
+exhaustive search for n ≤ 23 in this repository; literature values from
+Packebusch & Mertens (2016) for larger n), used by the overlap/merit-factor
+analyses and the examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from functools import lru_cache
+
+import numpy as np
+
+from .terms import Term, TermsPolynomial, terms_from_dict
+
+__all__ = [
+    "get_terms",
+    "get_terms_with_offset",
+    "labs_polynomial",
+    "autocorrelations",
+    "energy_from_spins",
+    "energy_from_index",
+    "merit_factor",
+    "merit_factor_from_energy",
+    "energies_all_sequences",
+    "optimal_energy_bruteforce",
+    "true_optimal_energy",
+    "optimal_merit_factor",
+    "ground_state_indices",
+    "number_of_terms",
+    "KNOWN_OPTIMAL_ENERGIES",
+]
+
+
+# Known optimal sidelobe energies E*(n).  Entries for n <= 23 were re-verified
+# by exhaustive search in this repository (see tests/problems/test_labs.py);
+# entries for 24 <= n <= 40 are the published optima of Packebusch & Mertens,
+# "Efficient branch and bound algorithm for the low autocorrelation binary
+# sequence problem" (2016), as cited by the paper's companion study [6].
+KNOWN_OPTIMAL_ENERGIES: dict[int, int] = {
+    3: 1, 4: 2, 5: 2, 6: 7, 7: 3, 8: 8, 9: 12, 10: 13,
+    11: 5, 12: 10, 13: 6, 14: 19, 15: 15, 16: 24, 17: 32, 18: 25,
+    19: 29, 20: 26, 21: 26, 22: 39, 23: 47, 24: 36, 25: 36, 26: 45,
+    27: 37, 28: 50, 29: 62, 30: 59, 31: 67, 32: 64, 33: 64, 34: 65,
+    35: 73, 36: 82, 37: 86, 38: 87, 39: 99, 40: 108,
+}
+
+
+def autocorrelations(spins: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Aperiodic autocorrelations ``C_k`` for ``k = 1 .. n-1``.
+
+    ``spins`` must be a ±1 sequence; returns an integer array of length
+    ``n - 1`` with ``C_k = sum_i s_i s_{i+k}``.
+    """
+    s = np.asarray(spins, dtype=np.int64)
+    if s.ndim != 1:
+        raise ValueError("spins must be a one-dimensional sequence")
+    if not np.all(np.abs(s) == 1):
+        raise ValueError("spins must be ±1 valued")
+    n = s.shape[0]
+    return np.array([int(np.dot(s[: n - k], s[k:])) for k in range(1, n)], dtype=np.int64)
+
+
+def energy_from_spins(spins: Sequence[int] | np.ndarray) -> int:
+    """Sidelobe energy ``E(s) = Σ_k C_k(s)²`` of a ±1 sequence."""
+    c = autocorrelations(spins)
+    return int(np.sum(c * c))
+
+
+def energy_from_index(x: int, n: int) -> int:
+    """Sidelobe energy of the sequence encoded by basis-state index ``x``."""
+    bits = np.array([(x >> q) & 1 for q in range(n)], dtype=np.int64)
+    return energy_from_spins(1 - 2 * bits)
+
+
+def merit_factor_from_energy(energy: float, n: int) -> float:
+    """Merit factor ``F = n² / (2E)``."""
+    if energy <= 0:
+        raise ValueError(f"sidelobe energy must be positive, got {energy}")
+    return n * n / (2.0 * energy)
+
+
+def merit_factor(spins: Sequence[int] | np.ndarray) -> float:
+    """Merit factor of a ±1 sequence."""
+    s = np.asarray(spins)
+    return merit_factor_from_energy(energy_from_spins(s), s.shape[0])
+
+
+@lru_cache(maxsize=None)
+def _terms_cached(n: int) -> tuple[Term, ...]:
+    """Symbolic expansion of ``Σ_{k=1}^{n-1} C_k²`` into spin-polynomial terms.
+
+    Expanding ``C_k² = Σ_{i,j} s_i s_{i+k} s_j s_{j+k}``:
+
+    * ``i == j`` contributes the constant ``n - k``;
+    * ``j == i + k`` (and symmetrically ``i == j + k``) collapses to the
+      two-body term ``s_i s_{i+2k}``;
+    * all remaining pairs give four-body terms ``s_i s_{i+k} s_j s_{j+k}``.
+
+    Duplicate index sets are merged in a dict, exactly as a computer-algebra
+    expansion would do, so the returned list is canonical and minimal.
+    """
+    if n < 2:
+        raise ValueError(f"LABS needs at least 2 spins, got n={n}")
+    acc: dict[tuple[int, ...], float] = {}
+
+    def add(indices: tuple[int, ...], w: float) -> None:
+        acc[indices] = acc.get(indices, 0.0) + w
+
+    for k in range(1, n):
+        m = n - k  # number of products s_i s_{i+k}, i = 0 .. m-1 (0-based)
+        # i == j diagonal: each (s_i s_{i+k})^2 == 1
+        add((), float(m))
+        for i in range(m):
+            for j in range(i + 1, m):
+                idx_multiset = (i, i + k, j, j + k)
+                # cancel repeated indices pairwise (s^2 = 1)
+                counts: dict[int, int] = {}
+                for q in idx_multiset:
+                    counts[q] = counts.get(q, 0) + 1
+                reduced = tuple(sorted(q for q, c in counts.items() if c % 2 == 1))
+                add(reduced, 2.0)
+    return tuple(terms_from_dict(acc))
+
+
+def get_terms_with_offset(n: int) -> list[Term]:
+    """LABS cost-polynomial terms *including* the constant offset term.
+
+    The resulting polynomial evaluates exactly to the sidelobe energy ``E(s)``.
+    """
+    return list(_terms_cached(n))
+
+
+def get_terms(n: int, *, include_offset: bool = True) -> list[Term]:
+    """LABS cost-polynomial terms (paper Listing 2: ``qokit.labs.get_terms``).
+
+    With ``include_offset=True`` (default) the polynomial value equals the
+    sidelobe energy; with ``include_offset=False`` the constant
+    ``Σ_k (n-k) = n(n-1)/2`` is omitted (the spectrum is merely shifted, which
+    leaves QAOA dynamics unchanged up to a global phase).
+    """
+    terms = get_terms_with_offset(n)
+    if include_offset:
+        return list(terms)
+    return [(w, idx) for w, idx in terms if len(idx) > 0]
+
+
+def labs_polynomial(n: int, *, include_offset: bool = True) -> TermsPolynomial:
+    """:class:`TermsPolynomial` wrapper around :func:`get_terms`."""
+    return TermsPolynomial(n, tuple(get_terms(n, include_offset=include_offset)))
+
+
+def number_of_terms(n: int, *, include_offset: bool = True) -> int:
+    """Number of terms in the LABS polynomial (grows as Θ(n²))."""
+    return len(get_terms(n, include_offset=include_offset))
+
+
+def energies_all_sequences(n: int) -> np.ndarray:
+    """Vector of sidelobe energies for all 2^n sequences (reference path).
+
+    Index ``x`` follows the little-endian bit convention of the simulators, so
+    this array can be compared directly against a precomputed cost diagonal.
+    Vectorized over sequences; intended for n ≤ ~22.
+    """
+    if n < 2:
+        raise ValueError(f"LABS needs at least 2 spins, got n={n}")
+    if n > 22:
+        raise ValueError("energies_all_sequences is a reference helper; n > 22 refused")
+    idx = np.arange(1 << n, dtype=np.uint64)[:, None]
+    shifts = np.arange(n, dtype=np.uint64)[None, :]
+    bits = ((idx >> shifts) & np.uint64(1)).astype(np.int8)
+    s = 1 - 2 * bits
+    energies = np.zeros(1 << n, dtype=np.int64)
+    for k in range(1, n):
+        c = (s[:, : n - k].astype(np.int64) * s[:, k:].astype(np.int64)).sum(axis=1)
+        energies += c * c
+    return energies
+
+
+def optimal_energy_bruteforce(n: int) -> int:
+    """Exhaustively computed optimal sidelobe energy (small n)."""
+    return int(energies_all_sequences(n).min())
+
+
+def true_optimal_energy(n: int) -> int:
+    """Known optimal sidelobe energy, from the built-in table or brute force.
+
+    Raises ``KeyError`` if ``n`` is outside the table and too large to brute
+    force.
+    """
+    if n in KNOWN_OPTIMAL_ENERGIES:
+        return KNOWN_OPTIMAL_ENERGIES[n]
+    if n <= 22:
+        return optimal_energy_bruteforce(n)
+    raise KeyError(f"no known optimal LABS energy for n={n}")
+
+
+def optimal_merit_factor(n: int) -> float:
+    """Merit factor of the optimal sequence of length ``n``."""
+    return merit_factor_from_energy(true_optimal_energy(n), n)
+
+
+def ground_state_indices(n: int) -> np.ndarray:
+    """Basis-state indices of all optimal LABS sequences (small n only).
+
+    LABS ground states come in symmetry orbits (sequence reversal, global spin
+    flip, alternating flip), so several indices are returned.
+    """
+    energies = energies_all_sequences(n)
+    return np.flatnonzero(energies == energies.min())

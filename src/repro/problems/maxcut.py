@@ -1,0 +1,180 @@
+"""MaxCut problem generators (terms, graphs, reference cut evaluation).
+
+The MaxCut cost function used throughout the paper (Sec. II) is
+
+    f(s) = sum_{(i,j) in E} w_ij/2 * s_i s_j  -  W/2,           W = sum w_ij
+
+which equals ``-cut(s)``: minimizing ``f`` maximizes the cut.  The term list
+therefore contains one quadratic term per edge plus a constant offset term.
+
+The benchmark workloads of Fig. 2 use Erdős–Rényi-style *random regular*
+graphs (3-regular); Listing 1 of the paper uses a weighted all-to-all
+(complete) graph.  Both generators are provided, alongside helpers for
+reference cut evaluation used in the tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .terms import Term, TermsPolynomial, simplify_terms
+
+__all__ = [
+    "get_maxcut_terms",
+    "maxcut_terms_from_graph",
+    "maxcut_polynomial",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "complete_graph_terms",
+    "cut_value",
+    "cut_value_from_index",
+    "maxcut_optimal_cut_bruteforce",
+    "graph_from_edges",
+]
+
+
+def graph_from_edges(n: int, edges: Iterable[tuple[int, int] | tuple[int, int, float]]) -> nx.Graph:
+    """Build a weighted :class:`networkx.Graph` on ``n`` nodes from an edge list.
+
+    Edges may be ``(i, j)`` pairs (weight 1) or ``(i, j, w)`` triples.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for e in edges:
+        if len(e) == 2:
+            i, j = e
+            w = 1.0
+        else:
+            i, j, w = e
+        if i == j:
+            raise ValueError(f"self-loop ({i},{j}) is not a valid MaxCut edge")
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"edge ({i},{j}) out of range for {n} nodes")
+        g.add_edge(int(i), int(j), weight=float(w))
+    return g
+
+
+def maxcut_terms_from_graph(graph: nx.Graph, *, include_offset: bool = True) -> list[Term]:
+    """Spin-polynomial terms for the MaxCut cost of ``graph``.
+
+    Each edge ``(i, j)`` with weight ``w`` contributes ``(w/2, (i, j))``;
+    the constant ``-W/2`` (with ``W`` the total edge weight) is added as an
+    offset term when ``include_offset`` is true, so that the polynomial value
+    equals minus the cut size.
+    """
+    terms: list[Term] = []
+    total_weight = 0.0
+    for i, j, data in graph.edges(data=True):
+        w = float(data.get("weight", 1.0))
+        total_weight += w
+        terms.append((w / 2.0, (int(i), int(j))))
+    if include_offset:
+        terms.append((-total_weight / 2.0, ()))
+    return simplify_terms(terms)
+
+
+def get_maxcut_terms(graph: nx.Graph | None = None, *,
+                     n: int | None = None,
+                     edges: Iterable[tuple] | None = None,
+                     include_offset: bool = True) -> list[Term]:
+    """Convenience wrapper: terms either from a graph or from ``(n, edges)``."""
+    if graph is None:
+        if n is None or edges is None:
+            raise ValueError("provide either a graph or both n and edges")
+        graph = graph_from_edges(n, edges)
+    return maxcut_terms_from_graph(graph, include_offset=include_offset)
+
+
+def maxcut_polynomial(graph: nx.Graph, *, include_offset: bool = True) -> TermsPolynomial:
+    """:class:`TermsPolynomial` wrapper around :func:`maxcut_terms_from_graph`."""
+    n = graph.number_of_nodes()
+    return TermsPolynomial(n, tuple(maxcut_terms_from_graph(graph, include_offset=include_offset)))
+
+
+def random_regular_graph(degree: int, n: int, seed: int | None = None,
+                         *, weighted: bool = False,
+                         weight_low: float = 0.0, weight_high: float = 1.0) -> nx.Graph:
+    """Random ``degree``-regular graph on ``n`` nodes (Fig. 2 workload).
+
+    With ``weighted=True`` edge weights are drawn uniformly from
+    ``[weight_low, weight_high)`` using the same seed.
+    """
+    if degree >= n:
+        raise ValueError(f"degree {degree} must be smaller than n={n}")
+    if (degree * n) % 2 != 0:
+        raise ValueError(f"degree*n must be even, got degree={degree}, n={n}")
+    g = nx.random_regular_graph(degree, n, seed=seed)
+    g = nx.convert_node_labels_to_integers(g)
+    rng = np.random.default_rng(seed)
+    for i, j in g.edges():
+        g[i][j]["weight"] = float(rng.uniform(weight_low, weight_high)) if weighted else 1.0
+    return g
+
+
+def erdos_renyi_graph(n: int, probability: float, seed: int | None = None,
+                      *, weighted: bool = False) -> nx.Graph:
+    """Erdős–Rényi ``G(n, p)`` graph with optional uniform random weights."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"edge probability must lie in [0, 1], got {probability}")
+    g = nx.gnp_random_graph(n, probability, seed=seed)
+    g.add_nodes_from(range(n))
+    rng = np.random.default_rng(seed)
+    for i, j in g.edges():
+        g[i][j]["weight"] = float(rng.uniform()) if weighted else 1.0
+    return g
+
+
+def complete_graph_terms(n: int, weight: float = 1.0, *, include_offset: bool = False) -> list[Term]:
+    """Terms for weighted all-to-all MaxCut, as in Listing 1 of the paper.
+
+    With ``include_offset=False`` this reproduces the Listing 1 term list
+    exactly: ``[(weight, (i, j)) for i < j]`` (no constant term).
+    """
+    if n < 2:
+        raise ValueError("complete graph MaxCut needs at least 2 nodes")
+    terms: list[Term] = [(float(weight), (i, j)) for i in range(n) for j in range(i + 1, n)]
+    if include_offset:
+        total = weight * n * (n - 1) / 2.0
+        terms.append((-total / 2.0, ()))
+        # halve edge weights so the value equals -cut, matching maxcut_terms_from_graph
+        terms = [(w / 2.0 if idx else w, idx) for w, idx in terms[:-1]] + [terms[-1]]
+    return simplify_terms(terms)
+
+
+def cut_value(graph: nx.Graph, bits: Sequence[int]) -> float:
+    """Weighted cut size of the partition encoded by a 0/1 assignment."""
+    bits = list(bits)
+    total = 0.0
+    for i, j, data in graph.edges(data=True):
+        if bits[i] != bits[j]:
+            total += float(data.get("weight", 1.0))
+    return total
+
+
+def cut_value_from_index(graph: nx.Graph, x: int) -> float:
+    """Weighted cut size for basis-state index ``x`` (little-endian bits)."""
+    n = graph.number_of_nodes()
+    bits = [(x >> q) & 1 for q in range(n)]
+    return cut_value(graph, bits)
+
+
+def maxcut_optimal_cut_bruteforce(graph: nx.Graph) -> tuple[float, int]:
+    """Exhaustive optimal cut ``(value, argmax index)``; small graphs only."""
+    n = graph.number_of_nodes()
+    if n > 22:
+        raise ValueError("brute-force MaxCut refused for n > 22")
+    best_val, best_x = -1.0, 0
+    # Vectorized: accumulate cut indicator per edge over all assignments.
+    idx = np.arange(1 << n, dtype=np.uint64)
+    total = np.zeros(1 << n, dtype=np.float64)
+    for i, j, data in graph.edges(data=True):
+        w = float(data.get("weight", 1.0))
+        bi = (idx >> np.uint64(i)) & np.uint64(1)
+        bj = (idx >> np.uint64(j)) & np.uint64(1)
+        total += w * (bi != bj)
+    best_x = int(np.argmax(total))
+    best_val = float(total[best_x])
+    return best_val, best_x

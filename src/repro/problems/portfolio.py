@@ -1,0 +1,193 @@
+"""Portfolio optimization problem (mean-variance QUBO) for constrained QAOA.
+
+The paper lists portfolio optimization alongside MaxCut and LABS as one of the
+problems QOKit ships one-line helpers for, and it is the canonical use case for
+the Hamming-weight-preserving XY mixers: the budget constraint "select exactly
+K assets" is enforced by the mixer (which never changes the Hamming weight of
+the initial Dicke-like state) rather than by a penalty term.
+
+The objective minimized over binary selections ``x ∈ {0,1}^n`` is
+
+    f(x) = q * xᵀ Σ x  -  μᵀ x
+
+where ``Σ`` is the asset covariance matrix, ``μ`` the expected returns and
+``q`` the risk-aversion parameter.  Substituting ``x_i = (1 - s_i)/2`` turns
+this into a spin polynomial with constant, linear and quadratic terms, which is
+what the simulators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .terms import Term, TermsPolynomial, terms_from_dict
+
+__all__ = [
+    "PortfolioProblem",
+    "random_portfolio_problem",
+    "portfolio_terms",
+    "portfolio_value_bits",
+    "portfolio_cost_vector",
+    "hamming_weight_indices",
+    "best_constrained_selection",
+]
+
+
+@dataclass(frozen=True)
+class PortfolioProblem:
+    """A mean-variance portfolio instance.
+
+    Attributes
+    ----------
+    means:
+        Expected returns ``μ`` (length n).
+    cov:
+        Covariance matrix ``Σ`` (n × n, symmetric positive semi-definite).
+    risk_aversion:
+        The scalar ``q`` weighting risk against return.
+    budget:
+        Number of assets to select (the Hamming-weight constraint ``K``).
+    """
+
+    means: np.ndarray
+    cov: np.ndarray
+    risk_aversion: float
+    budget: int
+
+    def __post_init__(self) -> None:
+        means = np.asarray(self.means, dtype=np.float64)
+        cov = np.asarray(self.cov, dtype=np.float64)
+        if means.ndim != 1:
+            raise ValueError("means must be a vector")
+        n = means.shape[0]
+        if cov.shape != (n, n):
+            raise ValueError(f"covariance must be {n}x{n}, got {cov.shape}")
+        if not np.allclose(cov, cov.T, atol=1e-10):
+            raise ValueError("covariance matrix must be symmetric")
+        if not 0 <= self.budget <= n:
+            raise ValueError(f"budget {self.budget} out of range for {n} assets")
+        object.__setattr__(self, "means", means)
+        object.__setattr__(self, "cov", cov)
+
+    @property
+    def n(self) -> int:
+        """Number of assets (qubits)."""
+        return self.means.shape[0]
+
+    def value(self, x: np.ndarray) -> float:
+        """Objective ``q·xᵀΣx − μᵀx`` for a binary selection vector."""
+        x = np.asarray(x, dtype=np.float64)
+        return float(self.risk_aversion * x @ self.cov @ x - self.means @ x)
+
+
+def random_portfolio_problem(n: int, budget: int | None = None, *,
+                             risk_aversion: float = 0.5,
+                             seed: int | None = None) -> PortfolioProblem:
+    """Generate a random but well-conditioned portfolio instance.
+
+    Returns are drawn uniformly from [0, 1); the covariance is a random SPD
+    matrix ``A Aᵀ / n`` scaled to unit average variance.  ``budget`` defaults
+    to ``n // 2``.
+    """
+    if n < 2:
+        raise ValueError("portfolio problems need at least 2 assets")
+    rng = np.random.default_rng(seed)
+    means = rng.uniform(0.0, 1.0, size=n)
+    a = rng.normal(size=(n, n))
+    cov = a @ a.T / n
+    cov /= np.mean(np.diag(cov))
+    if budget is None:
+        budget = n // 2
+    return PortfolioProblem(means=means, cov=cov, risk_aversion=risk_aversion, budget=int(budget))
+
+
+def portfolio_terms(problem: PortfolioProblem, *, include_offset: bool = True) -> list[Term]:
+    """Spin-polynomial terms of the portfolio objective.
+
+    Substituting ``x_i = (1 − s_i)/2``:
+
+    * the linear part ``−μᵀx`` contributes ``+μ_i/2`` per spin and the constant
+      ``−Σμ_i/2``;
+    * the quadratic part ``q·xᵀΣx`` contributes pair terms
+      ``q·Σ_ij/2`` (for i≠j, combining the symmetric entries), linear terms and
+      a constant.
+    """
+    n = problem.n
+    q = problem.risk_aversion
+    mu = problem.means
+    cov = problem.cov
+    acc: dict[tuple[int, ...], float] = {}
+
+    def add(idx: tuple[int, ...], w: float) -> None:
+        acc[idx] = acc.get(idx, 0.0) + w
+
+    # -mu^T x  =  -sum_i mu_i (1 - s_i)/2
+    for i in range(n):
+        add((), -mu[i] / 2.0)
+        add((i,), mu[i] / 2.0)
+
+    # q x^T Sigma x = q sum_{ij} Sigma_ij (1-s_i)(1-s_j)/4
+    for i in range(n):
+        for j in range(n):
+            w = q * cov[i, j] / 4.0
+            add((), w)
+            add((i,), -w)
+            add((j,), -w)
+            if i == j:
+                add((), w)  # s_i s_i = 1
+            else:
+                add(tuple(sorted((i, j))), w)
+
+    terms = terms_from_dict(acc, tol=1e-15)
+    if not include_offset:
+        terms = [(w, idx) for w, idx in terms if len(idx) > 0]
+    return terms
+
+
+def portfolio_polynomial(problem: PortfolioProblem, *, include_offset: bool = True) -> TermsPolynomial:
+    """:class:`TermsPolynomial` wrapper around :func:`portfolio_terms`."""
+    return TermsPolynomial(problem.n, tuple(portfolio_terms(problem, include_offset=include_offset)))
+
+
+def portfolio_value_bits(problem: PortfolioProblem, bits: np.ndarray) -> float:
+    """Objective value for an explicit 0/1 selection vector (reference path)."""
+    return problem.value(np.asarray(bits, dtype=np.float64))
+
+
+def portfolio_cost_vector(problem: PortfolioProblem) -> np.ndarray:
+    """Brute-force cost vector over all 2^n selections (reference path)."""
+    n = problem.n
+    if n > 22:
+        raise ValueError("portfolio_cost_vector is a reference helper; n > 22 refused")
+    idx = np.arange(1 << n, dtype=np.uint64)[:, None]
+    shifts = np.arange(n, dtype=np.uint64)[None, :]
+    bits = ((idx >> shifts) & np.uint64(1)).astype(np.float64)
+    quad = np.einsum("xi,ij,xj->x", bits, problem.cov, bits)
+    lin = bits @ problem.means
+    return problem.risk_aversion * quad - lin
+
+
+def hamming_weight_indices(n: int, weight: int) -> np.ndarray:
+    """All basis-state indices with exactly ``weight`` bits set.
+
+    These span the feasible subspace preserved by the XY mixers and are used to
+    build the constrained initial state and to restrict expectation values.
+    """
+    if not 0 <= weight <= n:
+        raise ValueError(f"weight {weight} out of range for n={n}")
+    idx = np.arange(1 << n, dtype=np.uint64)
+    pop = np.bitwise_count(idx)
+    return np.flatnonzero(pop == weight)
+
+
+def best_constrained_selection(problem: PortfolioProblem) -> tuple[float, int]:
+    """Exhaustive optimum over selections satisfying the budget constraint.
+
+    Returns ``(optimal value, basis-state index)``.
+    """
+    feasible = hamming_weight_indices(problem.n, problem.budget)
+    costs = portfolio_cost_vector(problem)[feasible]
+    k = int(np.argmin(costs))
+    return float(costs[k]), int(feasible[k])

@@ -1,0 +1,63 @@
+"""Sherrington–Kirkpatrick (SK) spin-glass instances.
+
+The SK model is a standard fully-connected random-coupling benchmark for QAOA
+studies.  It is not one of the two headline problems of the paper but provides
+an additional dense-quadratic workload for the benchmark harness (its term
+count grows as Θ(n²) like LABS, but all terms are two-body, which isolates the
+effect of term *order* on gate-based simulation cost).
+
+    f(s) = (1/sqrt(n)) * sum_{i<j} J_ij s_i s_j,     J_ij ~ N(0, 1)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .terms import Term, TermsPolynomial, terms_from_dict
+
+__all__ = [
+    "sk_couplings",
+    "get_sk_terms",
+    "sk_polynomial",
+    "sk_energy_from_spins",
+]
+
+
+def sk_couplings(n: int, seed: int | None = None) -> np.ndarray:
+    """Random symmetric coupling matrix ``J`` with zero diagonal, ``J_ij ~ N(0,1)``."""
+    if n < 2:
+        raise ValueError("SK model needs at least 2 spins")
+    rng = np.random.default_rng(seed)
+    j = rng.normal(size=(n, n))
+    j = np.triu(j, k=1)
+    return j + j.T
+
+
+def get_sk_terms(n: int, seed: int | None = None, *, couplings: np.ndarray | None = None) -> list[Term]:
+    """Spin-polynomial terms ``(J_ij / sqrt(n), (i, j))`` for all ``i < j``."""
+    if couplings is None:
+        couplings = sk_couplings(n, seed)
+    couplings = np.asarray(couplings, dtype=np.float64)
+    if couplings.shape != (n, n):
+        raise ValueError(f"couplings must be {n}x{n}, got {couplings.shape}")
+    acc: dict[tuple[int, ...], float] = {}
+    norm = 1.0 / np.sqrt(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            w = float(couplings[i, j]) * norm
+            if w != 0.0:
+                acc[(i, j)] = acc.get((i, j), 0.0) + w
+    return terms_from_dict(acc)
+
+
+def sk_polynomial(n: int, seed: int | None = None) -> TermsPolynomial:
+    """:class:`TermsPolynomial` wrapper around :func:`get_sk_terms`."""
+    return TermsPolynomial(n, tuple(get_sk_terms(n, seed)))
+
+
+def sk_energy_from_spins(couplings: np.ndarray, spins: np.ndarray) -> float:
+    """Reference energy ``(1/sqrt(n)) Σ_{i<j} J_ij s_i s_j`` for a ±1 vector."""
+    s = np.asarray(spins, dtype=np.float64)
+    n = s.shape[0]
+    j = np.triu(np.asarray(couplings, dtype=np.float64), k=1)
+    return float(s @ j @ s / np.sqrt(n))

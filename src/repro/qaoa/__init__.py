@@ -1,0 +1,35 @@
+"""High-level QAOA API: objectives, parameter strategies, optimization drivers."""
+
+from .objective import QAOAObjective, get_qaoa_objective, make_simulator
+from .optimization import (
+    OptimizationResult,
+    minimize_qaoa,
+    progressive_depth_optimization,
+)
+from .parameters import (
+    fourier_to_schedule,
+    interp_extrapolate,
+    linear_ramp_parameters,
+    random_initialization,
+    schedule_to_fourier,
+    split_parameters,
+    stack_parameters,
+    tqa_initialization,
+)
+
+__all__ = [
+    "QAOAObjective",
+    "get_qaoa_objective",
+    "make_simulator",
+    "OptimizationResult",
+    "minimize_qaoa",
+    "progressive_depth_optimization",
+    "linear_ramp_parameters",
+    "tqa_initialization",
+    "random_initialization",
+    "interp_extrapolate",
+    "fourier_to_schedule",
+    "schedule_to_fourier",
+    "stack_parameters",
+    "split_parameters",
+]

@@ -1,0 +1,150 @@
+"""Conversion of quantum circuits into tensor networks.
+
+A circuit amplitude ``<y| U |initial>`` is expressed as a closed tensor
+network: one rank-1 tensor per qubit for the initial state, one rank-2k tensor
+per k-qubit gate, and one rank-1 projection tensor per qubit for the output
+bitstring.  Contracting the network over all indices yields the amplitude —
+the same quantity cuTensorNet/QTensor compute in the Fig. 3 comparison.
+
+For deep QAOA circuits on densely-connected problems (LABS), every output
+index is causally connected to every input index after a single phase-operator
+layer; the contraction width therefore approaches ``n`` and the tensor-network
+approach loses its usual shallow-circuit advantage.  The
+:func:`~repro.tensornet.contraction.contraction_width` estimator exposes this
+effect quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..gates.circuit import QuantumCircuit
+from ..gates.gate import Gate
+from .tensor import Tensor
+
+__all__ = ["TensorNetwork", "circuit_to_network"]
+
+
+class TensorNetwork:
+    """A list of tensors plus bookkeeping of index labels."""
+
+    def __init__(self, tensors: Sequence[Tensor] | None = None) -> None:
+        self.tensors: list[Tensor] = list(tensors) if tensors is not None else []
+        self._next_index = 0
+        for t in self.tensors:
+            for i in t.indices:
+                self._next_index = max(self._next_index, i + 1)
+
+    def new_index(self) -> int:
+        """Allocate a fresh index label."""
+        idx = self._next_index
+        self._next_index += 1
+        return idx
+
+    def add(self, tensor: Tensor) -> None:
+        """Add a tensor to the network."""
+        self.tensors.append(tensor)
+        for i in tensor.indices:
+            self._next_index = max(self._next_index, i + 1)
+
+    @property
+    def num_tensors(self) -> int:
+        """Number of tensors currently in the network."""
+        return len(self.tensors)
+
+    def all_indices(self) -> set[int]:
+        """Set of all index labels appearing in the network."""
+        out: set[int] = set()
+        for t in self.tensors:
+            out.update(t.indices)
+        return out
+
+    def open_indices(self) -> list[int]:
+        """Indices appearing in exactly one tensor (uncontracted legs)."""
+        counts: dict[int, int] = {}
+        for t in self.tensors:
+            for i in t.indices:
+                counts[i] = counts.get(i, 0) + 1
+        return sorted(i for i, c in counts.items() if c == 1)
+
+    def index_graph(self):
+        """networkx graph whose nodes are indices, connected if they co-occur in a tensor.
+
+        This is the "line graph" view used by elimination-order heuristics.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self.all_indices())
+        for t in self.tensors:
+            idx = list(t.indices)
+            for a in range(len(idx)):
+                for b in range(a + 1, len(idx)):
+                    g.add_edge(idx[a], idx[b])
+        return g
+
+
+def _initial_state_vectors(kind: str) -> np.ndarray:
+    if kind == "zero":
+        return np.array([1.0, 0.0], dtype=np.complex128)
+    if kind == "plus":
+        return np.array([1.0, 1.0], dtype=np.complex128) / np.sqrt(2.0)
+    raise ValueError(f"unknown initial state {kind!r} (use 'zero' or 'plus')")
+
+
+def circuit_to_network(circuit: QuantumCircuit,
+                       output_bits: Sequence[int] | None = None,
+                       *, initial_state: str = "zero") -> TensorNetwork:
+    """Build the closed tensor network of the amplitude ``<output| circuit |initial>``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to convert.
+    output_bits:
+        Little-endian output bitstring (entry q is the measured value of qubit
+        q).  When ``None``, the all-zeros string is used.
+    initial_state:
+        ``"zero"`` for |0…0> or ``"plus"`` for |+>^n (the QAOA initial state,
+        which folds the Hadamard layer into the input tensors).
+    """
+    n = circuit.n_qubits
+    if output_bits is None:
+        output_bits = [0] * n
+    output_bits = list(output_bits)
+    if len(output_bits) != n:
+        raise ValueError(f"output bitstring has length {len(output_bits)}, expected {n}")
+    if any(b not in (0, 1) for b in output_bits):
+        raise ValueError("output bits must be 0/1")
+
+    net = TensorNetwork()
+    init = _initial_state_vectors(initial_state)
+    # current open index of each qubit worldline
+    current: list[int] = []
+    for _q in range(n):
+        idx = net.new_index()
+        current.append(idx)
+        net.add(Tensor(init, (idx,)))
+
+    for gate_ in circuit:
+        net.add(_gate_tensor(gate_, net, current))
+
+    for q in range(n):
+        proj = np.zeros(2, dtype=np.complex128)
+        proj[output_bits[q]] = 1.0
+        net.add(Tensor(proj, (current[q],)))
+    return net
+
+
+def _gate_tensor(gate_: Gate, net: TensorNetwork, current: list[int]) -> Tensor:
+    """Tensor of a gate, wiring its input legs to the qubits' current indices."""
+    k = gate_.num_qubits
+    in_indices = [current[q] for q in gate_.qubits]
+    out_indices = [net.new_index() for _ in range(k)]
+    for q, idx in zip(gate_.qubits, out_indices):
+        current[q] = idx
+    data = gate_.to_matrix().reshape([2] * (2 * k))
+    # matrix axes: (out_1 … out_k, in_1 … in_k), first listed qubit = axis 0
+    return Tensor(data, tuple(out_indices) + tuple(in_indices))

@@ -1,0 +1,65 @@
+"""Tensor with named indices — building block of the tensor-network baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Tensor", "contract_pair"]
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A dense tensor with one label per axis.
+
+    Labels are opaque hashable objects (integers in this package); two tensors
+    sharing a label share (and can be contracted over) that index.  All indices
+    in the quantum-circuit networks have dimension 2.
+    """
+
+    data: np.ndarray
+    indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data)
+        if data.ndim != len(self.indices):
+            raise ValueError(
+                f"tensor of rank {data.ndim} cannot carry {len(self.indices)} index labels"
+            )
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError(f"repeated index labels in {self.indices}")
+        object.__setattr__(self, "data", data)
+
+    @property
+    def rank(self) -> int:
+        """Number of indices (tensor order)."""
+        return len(self.indices)
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.data.size)
+
+    def relabel(self, mapping: dict[int, int]) -> "Tensor":
+        """Return a copy with index labels substituted according to ``mapping``."""
+        return Tensor(self.data, tuple(mapping.get(i, i) for i in self.indices))
+
+    def transpose_to(self, order: tuple[int, ...]) -> "Tensor":
+        """Reorder axes so the index labels appear in the given order."""
+        if set(order) != set(self.indices):
+            raise ValueError(f"order {order} does not match indices {self.indices}")
+        perm = [self.indices.index(i) for i in order]
+        return Tensor(np.transpose(self.data, perm), tuple(order))
+
+
+def contract_pair(a: Tensor, b: Tensor) -> Tensor:
+    """Contract two tensors over all shared indices (tensordot under the hood)."""
+    shared = [i for i in a.indices if i in b.indices]
+    a_axes = [a.indices.index(i) for i in shared]
+    b_axes = [b.indices.index(i) for i in shared]
+    data = np.tensordot(a.data, b.data, axes=(a_axes, b_axes))
+    out_indices = tuple(i for i in a.indices if i not in shared) + tuple(
+        i for i in b.indices if i not in shared
+    )
+    return Tensor(data, out_indices)

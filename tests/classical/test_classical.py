@@ -1,0 +1,162 @@
+"""Tests for the classical reference solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import (
+    IncrementalEvaluator,
+    brute_force_maximize,
+    brute_force_minimize,
+    memetic_tabu_search,
+    random_spins,
+    simulated_annealing,
+    steepest_descent,
+    tabu_search,
+)
+from repro.problems import labs, maxcut
+from repro.problems.terms import evaluate_terms_on_spins
+
+from ..conftest import random_terms
+
+
+class TestBruteForce:
+    def test_labs_optimum(self):
+        n = 10
+        result = brute_force_minimize(labs.get_terms(n), n)
+        assert result.value == labs.KNOWN_OPTIMAL_ENERGIES[n]
+        assert len(result.indices) >= 4
+        assert result.spins(n).shape == (n,)
+
+    def test_maxcut_optimum(self):
+        g = maxcut.random_regular_graph(3, 8, seed=0)
+        terms = maxcut.maxcut_terms_from_graph(g)
+        best_cut, _ = maxcut.maxcut_optimal_cut_bruteforce(g)
+        assert brute_force_minimize(terms, 8).value == pytest.approx(-best_cut)
+
+    def test_maximize(self):
+        terms = [(1.0, (0,)), (1.0, (1,))]
+        assert brute_force_maximize(terms, 2).value == pytest.approx(2.0)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_minimize([(1.0, (0,))], 30)
+
+
+class TestIncrementalEvaluator:
+    def test_set_spins_value(self, rng):
+        n = 6
+        terms = random_terms(rng, n, 10, max_order=4)
+        ev = IncrementalEvaluator(terms, n)
+        spins = random_spins(n, rng)
+        assert ev.set_spins(spins) == pytest.approx(evaluate_terms_on_spins(terms, spins))
+
+    def test_flip_delta_matches_recompute(self, rng):
+        n = 7
+        terms = random_terms(rng, n, 12, max_order=4)
+        ev = IncrementalEvaluator(terms, n)
+        spins = random_spins(n, rng)
+        ev.set_spins(spins)
+        for i in range(n):
+            flipped = spins.copy()
+            flipped[i] *= -1
+            expected_delta = (evaluate_terms_on_spins(terms, flipped)
+                              - evaluate_terms_on_spins(terms, spins))
+            assert ev.flip_delta(i) == pytest.approx(expected_delta, abs=1e-9)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=2 ** 31 - 1),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_property_chain_of_flips_stays_consistent(self, n, seed, n_flips):
+        rng = np.random.default_rng(seed)
+        terms = random_terms(rng, n, int(rng.integers(1, 10)), max_order=min(4, n))
+        ev = IncrementalEvaluator(terms, n)
+        spins = random_spins(n, rng)
+        ev.set_spins(spins)
+        for _ in range(n_flips):
+            i = int(rng.integers(0, n))
+            ev.flip(i)
+            spins[i] *= -1
+        assert ev.value == pytest.approx(evaluate_terms_on_spins(terms, spins), abs=1e-8)
+        np.testing.assert_array_equal(ev.spins, spins)
+
+    def test_requires_state(self, rng):
+        ev = IncrementalEvaluator(random_terms(rng, 4, 3), 4)
+        with pytest.raises(RuntimeError):
+            ev.flip_delta(0)
+
+    def test_validation(self, rng):
+        ev = IncrementalEvaluator(random_terms(rng, 4, 3), 4)
+        with pytest.raises(ValueError):
+            ev.set_spins(np.array([1, -1, 1]))
+        with pytest.raises(ValueError):
+            ev.set_spins(np.array([1, -1, 0, 1]))
+        ev.set_spins(np.array([1, -1, 1, 1]))
+        with pytest.raises(ValueError):
+            ev.flip_delta(9)
+
+    def test_steepest_descent_never_increases(self, rng):
+        n = 8
+        terms = labs.get_terms(n)
+        ev = IncrementalEvaluator(terms, n)
+        start = random_spins(n, rng)
+        start_value = evaluate_terms_on_spins(terms, start)
+        _, value = steepest_descent(ev, start)
+        assert value <= start_value + 1e-12
+
+
+class TestHeuristics:
+    def test_tabu_finds_labs_optimum(self):
+        n = 10
+        result = tabu_search(labs.get_terms(n), n, max_iterations=500, n_restarts=2, seed=0)
+        assert result.value == labs.KNOWN_OPTIMAL_ENERGIES[n]
+
+    def test_tabu_target_value_early_stop(self):
+        n = 10
+        target = labs.KNOWN_OPTIMAL_ENERGIES[n] + 4
+        result = tabu_search(labs.get_terms(n), n, max_iterations=2000, n_restarts=3,
+                             seed=1, target_value=target)
+        assert result.value <= target
+
+    def test_tabu_validation(self):
+        with pytest.raises(ValueError):
+            tabu_search([(1.0, (0,))], 1, max_iterations=0)
+
+    def test_annealing_reaches_good_solution(self):
+        n = 10
+        result = simulated_annealing(labs.get_terms(n), n, n_sweeps=300, seed=2)
+        assert result.value <= 1.8 * labs.KNOWN_OPTIMAL_ENERGIES[n]
+
+    def test_annealing_validation(self):
+        with pytest.raises(ValueError):
+            simulated_annealing([(1.0, (0,))], 1, n_sweeps=0)
+        with pytest.raises(ValueError):
+            simulated_annealing([(1.0, (0,))], 1, t_final=0)
+
+    def test_annealing_with_initial_spins(self):
+        n = 8
+        spins = np.ones(n, dtype=np.int64)
+        result = simulated_annealing(labs.get_terms(n), n, n_sweeps=100, seed=3,
+                                     initial_spins=spins)
+        assert result.value <= labs.energy_from_spins(spins)
+
+    def test_memetic_finds_labs_optimum(self):
+        n = 11
+        result = memetic_tabu_search(labs.get_terms(n), n, population_size=4,
+                                     n_generations=4, tabu_iterations=200, seed=0)
+        assert result.value == labs.KNOWN_OPTIMAL_ENERGIES[n]
+        assert result.evaluations > 0
+
+    def test_memetic_validation(self):
+        with pytest.raises(ValueError):
+            memetic_tabu_search([(1.0, (0,))], 2, population_size=1)
+        with pytest.raises(ValueError):
+            memetic_tabu_search([(1.0, (0,))], 2, n_generations=0)
+
+    def test_maxcut_heuristic_matches_bruteforce(self):
+        g = maxcut.random_regular_graph(3, 10, seed=4)
+        terms = maxcut.maxcut_terms_from_graph(g)
+        best_cut, _ = maxcut.maxcut_optimal_cut_bruteforce(g)
+        result = tabu_search(terms, 10, max_iterations=500, n_restarts=2, seed=5)
+        assert result.value == pytest.approx(-best_cut)

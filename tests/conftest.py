@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.problems import labs, maxcut
+from repro.problems.terms import normalize_terms
+
+
+def random_terms(rng: np.random.Generator, n: int, n_terms: int, max_order: int = 3):
+    """Random spin-polynomial terms with weights in [-1, 1]."""
+    terms = []
+    for _ in range(n_terms):
+        order = int(rng.integers(1, max_order + 1))
+        idx = tuple(sorted(rng.choice(n, size=min(order, n), replace=False).tolist()))
+        terms.append((float(rng.uniform(-1, 1)), idx))
+    return normalize_terms(terms)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_labs_terms():
+    """LABS terms for n=6 (includes 2- and 4-body terms plus an offset)."""
+    return labs.get_terms(6)
+
+
+@pytest.fixture
+def small_maxcut():
+    """A 6-node 3-regular MaxCut instance (graph, terms)."""
+    graph = maxcut.random_regular_graph(3, 6, seed=7)
+    return graph, maxcut.maxcut_terms_from_graph(graph)
+
+
+@pytest.fixture
+def qaoa_angles():
+    """A generic two-layer (γ, β) schedule used across backend tests."""
+    return [0.17, 0.42], [0.33, 0.21]

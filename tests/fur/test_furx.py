@@ -1,0 +1,142 @@
+"""Tests for the fast SU(2) kernels (Algorithms 1 and 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.fur.python.furx as furx
+
+
+def random_state(rng: np.random.Generator, n: int) -> np.ndarray:
+    sv = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return sv / np.linalg.norm(sv)
+
+
+def dense_single_qubit_operator(u: np.ndarray, qubit: int, n: int) -> np.ndarray:
+    """Reference dense operator I ⊗ … ⊗ U ⊗ … ⊗ I (little-endian convention)."""
+    op = np.array([[1.0]])
+    for q in range(n):
+        factor = u if q == qubit else np.eye(2)
+        op = np.kron(factor, op)  # qubit q occupies bit q => later qubits go on the left
+    return op
+
+
+class TestApplySU2:
+    def test_x_rotation_parameters(self):
+        a, b = furx.su2_x_rotation(0.3)
+        mat = np.array([[a, -np.conj(b)], [b, np.conj(a)]])
+        expected = np.cos(0.3) * np.eye(2) - 1j * np.sin(0.3) * np.array([[0, 1], [1, 0]])
+        np.testing.assert_allclose(mat, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("n,qubit", [(1, 0), (3, 0), (3, 1), (3, 2), (5, 3)])
+    def test_matches_dense_operator(self, rng, n, qubit):
+        sv = random_state(rng, n)
+        theta = 0.7
+        a, b = furx.su2_x_rotation(theta)
+        expected = dense_single_qubit_operator(
+            np.array([[a, -np.conj(b)], [b, np.conj(a)]]), qubit, n
+        ) @ sv
+        out = furx.apply_su2(sv.copy(), a, b, qubit)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_in_place_semantics(self, rng):
+        sv = random_state(rng, 4)
+        out = furx.furx(sv, 0.2, 1)
+        assert out is sv
+
+    def test_qubit_out_of_range(self, rng):
+        sv = random_state(rng, 3)
+        with pytest.raises(ValueError):
+            furx.apply_su2(sv, 1.0, 0.0, 3)
+        with pytest.raises(ValueError):
+            furx.apply_su2(sv, 1.0, 0.0, -1)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=5),
+           st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_norm_preserved(self, n, qubit, beta, seed):
+        qubit = qubit % n
+        sv = random_state(np.random.default_rng(seed), n)
+        furx.furx(sv, beta, qubit)
+        assert np.linalg.norm(sv) == pytest.approx(1.0, abs=1e-10)
+
+    def test_identity_at_zero_angle(self, rng):
+        sv = random_state(rng, 4)
+        out = furx.furx(sv.copy(), 0.0, 2)
+        np.testing.assert_allclose(out, sv, atol=1e-15)
+
+
+class TestFurxAll:
+    def test_matches_sequential_dense(self, rng):
+        n, beta = 4, 0.37
+        sv = random_state(rng, n)
+        a, b = furx.su2_x_rotation(beta)
+        u = np.array([[a, -np.conj(b)], [b, np.conj(a)]])
+        expected = sv.copy()
+        for q in range(n):
+            expected = dense_single_qubit_operator(u, q, n) @ expected
+        out = furx.furx_all(sv.copy(), beta, n)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_pi_over_2_is_global_bit_flip(self, rng):
+        """At β = π/2 each factor becomes −iX, so the mixer is (−i)^n · X⊗…⊗X."""
+        n = 5
+        sv = random_state(rng, n)
+        mixed = furx.furx_all(sv.copy(), np.pi / 2, n)
+        np.testing.assert_allclose(mixed, (-1j) ** n * sv[::-1], atol=1e-10)
+
+    def test_mixer_equals_hadamard_conjugated_z_rotations(self, rng):
+        """exp(-iβΣX) = H^{⊗n}·exp(-iβΣZ)·H^{⊗n} — the WHT-sandwich identity the
+        paper contrasts its one-pass kernel against (Sec. VII)."""
+        n, beta = 4, 0.37
+        sv = random_state(rng, n)
+        direct = furx.furx_all(sv.copy(), beta, n)
+        # H^{⊗n} = FWHT / sqrt(N); exp(-iβΣZ) is diagonal with phases per popcount.
+        size = 1 << n
+        work = furx.fwht_inplace(sv.copy()) / np.sqrt(size)
+        idx = np.arange(size, dtype=np.uint64)
+        pop = np.bitwise_count(idx).astype(np.float64)
+        z_eigen = n - 2 * pop  # sum of Z eigenvalues
+        work *= np.exp(-1j * beta * z_eigen)
+        work = furx.fwht_inplace(work) / np.sqrt(size)
+        np.testing.assert_allclose(direct, work, atol=1e-10)
+
+    def test_uniform_state_is_fixed_up_to_phase(self):
+        """|+>^n is an eigenstate of the mixer: exp(-iβΣX)|+>^n = e^{-iβn}|+>^n."""
+        n, beta = 6, 0.41
+        sv = np.full(1 << n, 1.0 / np.sqrt(1 << n), dtype=np.complex128)
+        out = furx.furx_all(sv.copy(), beta, n)
+        np.testing.assert_allclose(out, np.exp(-1j * beta * n) * sv, atol=1e-12)
+
+    def test_inverse_by_negative_angle(self, rng):
+        n = 5
+        sv = random_state(rng, n)
+        out = furx.furx_all(sv.copy(), 0.3, n)
+        out = furx.furx_all(out, -0.3, n)
+        np.testing.assert_allclose(out, sv, atol=1e-12)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            furx.furx_all(random_state(rng, 3), 0.1, 4)
+
+
+class TestFWHT:
+    def test_fwht_matches_hadamard_matrix(self, rng):
+        n = 4
+        sv = random_state(rng, n)
+        h = np.array([[1, 1], [1, -1]], dtype=float)
+        full = np.array([[1.0]])
+        for _ in range(n):
+            full = np.kron(h, full)
+        np.testing.assert_allclose(furx.fwht_inplace(sv.copy()), full @ sv, atol=1e-12)
+
+    def test_fwht_involution(self, rng):
+        sv = random_state(rng, 5)
+        out = furx.fwht_inplace(furx.fwht_inplace(sv.copy())) / (1 << 5)
+        np.testing.assert_allclose(out, sv, atol=1e-12)
+
+    def test_fwht_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            furx.fwht_inplace(np.zeros(6, dtype=np.complex128))

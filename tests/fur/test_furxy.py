@@ -1,0 +1,117 @@
+"""Tests for the Hamming-weight-preserving XY mixer kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.fur.python.furxy as furxy
+from repro.gates import gate as G
+from repro.gates.statevector import apply_gate
+
+
+def random_state(rng: np.random.Generator, n: int) -> np.ndarray:
+    sv = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    return sv / np.linalg.norm(sv)
+
+
+class TestEdges:
+    def test_ring_edges(self):
+        assert furxy.ring_edges(4) == [(0, 1), (1, 2), (2, 3), (3, 0)]
+        assert furxy.ring_edges(2) == [(0, 1)]
+
+    def test_complete_edges(self):
+        assert furxy.complete_edges(3) == [(0, 1), (0, 2), (1, 2)]
+        assert len(furxy.complete_edges(6)) == 15
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            furxy.ring_edges(1)
+        with pytest.raises(ValueError):
+            furxy.complete_edges(1)
+
+
+class TestFurxyGate:
+    @pytest.mark.parametrize("qubits", [(0, 1), (1, 0), (0, 2), (2, 0), (1, 3), (3, 1)])
+    def test_matches_gate_library_xx_plus_yy(self, rng, qubits):
+        n, beta = 4, 0.53
+        sv = random_state(rng, n)
+        expected = apply_gate(sv.copy(), G.xx_plus_yy(beta, *qubits), n)
+        out = furxy.furxy(sv.copy(), beta, *qubits)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_same_qubit_rejected(self, rng):
+        with pytest.raises(ValueError):
+            furxy.furxy(random_state(rng, 3), 0.1, 1, 1)
+
+    def test_qubit_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            furxy.furxy(random_state(rng, 3), 0.1, 0, 3)
+
+    def test_identity_on_aligned_bits(self):
+        """|00> and |11> components are untouched."""
+        n = 2
+        for x in (0, 3):
+            sv = np.zeros(4, dtype=np.complex128)
+            sv[x] = 1.0
+            out = furxy.furxy(sv.copy(), 0.7, 0, 1)
+            np.testing.assert_allclose(out, sv, atol=1e-12)
+
+    def test_swap_at_pi_over_2(self):
+        """At β = π/2 the gate maps |01> to −i|10> (full transfer)."""
+        sv = np.zeros(4, dtype=np.complex128)
+        sv[1] = 1.0  # |01>: qubit0=1, qubit1=0
+        out = furxy.furxy(sv, np.pi / 2, 0, 1)
+        expected = np.zeros(4, dtype=np.complex128)
+        expected[2] = -1j
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    @given(st.integers(min_value=2, max_value=6),
+           st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_norm_preserved(self, n, beta, seed):
+        rng = np.random.default_rng(seed)
+        i, j = rng.choice(n, size=2, replace=False)
+        sv = random_state(rng, n)
+        furxy.furxy(sv, beta, int(i), int(j))
+        assert np.linalg.norm(sv) == pytest.approx(1.0, abs=1e-10)
+
+
+class TestMixers:
+    @pytest.mark.parametrize("mixer,apply", [
+        ("ring", furxy.furxy_ring), ("complete", furxy.furxy_complete),
+    ])
+    def test_hamming_weight_preserved(self, rng, mixer, apply):
+        n = 6
+        idx = np.arange(1 << n, dtype=np.uint64)
+        weights = np.bitwise_count(idx)
+        for w in (1, 3):
+            sv = np.where(weights == w, 1.0, 0.0).astype(np.complex128)
+            sv /= np.linalg.norm(sv)
+            out = apply(sv.copy(), 0.63, n)
+            leaked = np.abs(out[weights != w]) ** 2
+            assert leaked.sum() == pytest.approx(0.0, abs=1e-20)
+            assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-10)
+
+    def test_ring_matches_sequential_gates(self, rng):
+        n, beta = 5, 0.29
+        sv = random_state(rng, n)
+        expected = sv.copy()
+        for i, j in furxy.ring_edges(n):
+            expected = apply_gate(expected, G.xx_plus_yy(beta, i, j), n)
+        np.testing.assert_allclose(furxy.furxy_ring(sv.copy(), beta, n), expected, atol=1e-12)
+
+    def test_complete_matches_sequential_gates(self, rng):
+        n, beta = 4, 0.31
+        sv = random_state(rng, n)
+        expected = sv.copy()
+        for i, j in furxy.complete_edges(n):
+            expected = apply_gate(expected, G.xx_plus_yy(beta, i, j), n)
+        np.testing.assert_allclose(furxy.furxy_complete(sv.copy(), beta, n), expected, atol=1e-12)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            furxy.furxy_ring(random_state(rng, 3), 0.1, 4)
+        with pytest.raises(ValueError):
+            furxy.furxy_complete(random_state(rng, 3), 0.1, 4)

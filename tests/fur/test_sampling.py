@@ -1,0 +1,74 @@
+"""Tests for measurement sampling from evolved QAOA states."""
+
+import numpy as np
+import pytest
+
+from repro.fur import choose_simulator
+from repro.problems import labs
+
+
+class TestSampleBitstrings:
+    def test_shape_and_dtype(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        samples = sim.sample_bitstrings(res, 50, seed=0)
+        assert samples.shape == (50, 6)
+        assert set(np.unique(samples)).issubset({0, 1})
+
+    def test_reproducible_with_seed(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        a = sim.sample_bitstrings(res, 20, seed=7)
+        b = sim.sample_bitstrings(res, 20, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_state_sampling(self):
+        """A basis state produces only that bitstring."""
+        n = 4
+        sim = choose_simulator("python")(n, terms=[(1.0, (0,))])
+        sv0 = np.zeros(1 << n, dtype=np.complex128)
+        sv0[5] = 1.0  # bits 1010 little-endian => qubits 0 and 2 are 1
+        res = sim.simulate_qaoa([0.0], [0.0], sv0=sv0)
+        samples = sim.sample_bitstrings(res, 10, seed=1)
+        np.testing.assert_array_equal(samples, np.tile([1, 0, 1, 0], (10, 1)))
+
+    def test_empirical_frequencies_match_probabilities(self, qaoa_angles):
+        n = 6
+        terms = labs.get_terms(n)
+        gammas, betas = qaoa_angles
+        sim = choose_simulator("c")(n, terms=terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        probs = sim.get_probabilities(res)
+        samples = sim.sample_bitstrings(res, 20000, seed=3)
+        indices = (samples.astype(np.int64) * (1 << np.arange(n))).sum(axis=1)
+        freq = np.bincount(indices, minlength=1 << n) / samples.shape[0]
+        assert np.max(np.abs(freq - probs)) < 0.02
+
+    def test_sampled_energies_match_expectation(self, qaoa_angles):
+        n = 8
+        terms = labs.get_terms(n)
+        gammas, betas = qaoa_angles
+        sim = choose_simulator("c")(n, terms=terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        expectation = sim.get_expectation(res)
+        samples = sim.sample_bitstrings(res, 20000, seed=11)
+        energies = [labs.energy_from_spins(1 - 2 * s) for s in samples]
+        assert np.mean(energies) == pytest.approx(expectation, rel=0.05)
+
+    def test_validation(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        with pytest.raises(ValueError):
+            sim.sample_bitstrings(res, 0)
+
+    @pytest.mark.parametrize("backend", ["python", "gpu", "gpumpi"])
+    def test_all_backends_support_sampling(self, backend, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        kwargs = {"n_ranks": 2} if backend == "gpumpi" else {}
+        sim = choose_simulator(backend)(6, terms=small_labs_terms, **kwargs)
+        res = sim.simulate_qaoa(gammas, betas)
+        samples = sim.sample_bitstrings(res, 25, seed=5)
+        assert samples.shape == (25, 6)

@@ -1,0 +1,220 @@
+"""Tests for the CPU QAOA simulator backends (python and c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fur import choose_simulator, choose_simulator_xycomplete, choose_simulator_xyring
+from repro.fur.cvect import KernelWorkspace, apply_su2_blocked, furxy_blocked
+from repro.problems import labs, maxcut
+
+from ..conftest import random_terms
+
+BACKENDS = ["python", "c"]
+CHOOSERS = {
+    "x": choose_simulator,
+    "xyring": choose_simulator_xyring,
+    "xycomplete": choose_simulator_xycomplete,
+}
+
+
+class TestPhaseOperator:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_beta_zero_applies_pure_phases(self, backend, small_labs_terms):
+        """With β=0 the layer is diagonal: probabilities stay uniform."""
+        n = 6
+        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        res = sim.simulate_qaoa([0.7], [0.0])
+        probs = sim.get_probabilities(res)
+        np.testing.assert_allclose(probs, 1.0 / (1 << n), atol=1e-12)
+        # and the phases match exp(-i*gamma*costs)
+        sv = np.asarray(sim.get_statevector(res))
+        expected = np.exp(-1j * 0.7 * sim.get_cost_diagonal()) / np.sqrt(1 << n)
+        np.testing.assert_allclose(sv, expected, atol=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_gamma_zero_leaves_plus_state(self, backend, small_labs_terms):
+        """With γ=0 the phase is trivial and |+>^n is a mixer eigenstate."""
+        n = 6
+        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        res = sim.simulate_qaoa([0.0], [0.4])
+        probs = sim.get_probabilities(res)
+        np.testing.assert_allclose(probs, 1.0 / (1 << n), atol=1e-12)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("mixer", ["x", "xyring", "xycomplete"])
+    def test_python_and_c_agree(self, mixer, small_labs_terms, qaoa_angles):
+        n = 6
+        gammas, betas = qaoa_angles
+        svs = {}
+        for backend in BACKENDS:
+            sim = CHOOSERS[mixer](backend)(n, terms=small_labs_terms)
+            svs[backend] = np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas)))
+        np.testing.assert_allclose(svs["python"], svs["c"], atol=1e-12)
+
+    @given(st.integers(min_value=2, max_value=7), st.integers(min_value=0, max_value=2 ** 31 - 1),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=25, deadline=None)
+    def test_property_backends_agree_on_random_problems(self, n, seed, p):
+        rng = np.random.default_rng(seed)
+        terms = random_terms(rng, n, int(rng.integers(1, 8)), max_order=min(3, n))
+        gammas = rng.uniform(-1, 1, p)
+        betas = rng.uniform(-1, 1, p)
+        results = []
+        for backend in BACKENDS:
+            sim = choose_simulator(backend)(n, terms=terms)
+            results.append(np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas))))
+        np.testing.assert_allclose(results[0], results[1], atol=1e-10)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_norm_preserved_deep_circuit(self, backend, small_labs_terms):
+        n, p = 6, 50
+        rng = np.random.default_rng(0)
+        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        res = sim.simulate_qaoa(rng.uniform(0, 1, p), rng.uniform(0, 1, p))
+        assert np.linalg.norm(np.asarray(sim.get_statevector(res))) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExpectationAndOverlap:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_expectation_matches_manual_inner_product(self, backend, small_maxcut, qaoa_angles):
+        graph, terms = small_maxcut
+        gammas, betas = qaoa_angles
+        sim = choose_simulator(backend)(6, terms=terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        sv = np.asarray(sim.get_statevector(res))
+        manual = float(np.dot(np.abs(sv) ** 2, sim.get_cost_diagonal()))
+        assert sim.get_expectation(res) == pytest.approx(manual, abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_expectation_bounded_by_spectrum(self, backend, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        sim = choose_simulator(backend)(6, terms=small_labs_terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        diag = sim.get_cost_diagonal()
+        e = sim.get_expectation(res)
+        assert diag.min() - 1e-9 <= e <= diag.max() + 1e-9
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_overlap_defaults_to_ground_states(self, backend, qaoa_angles):
+        n = 8
+        terms = labs.get_terms(n)
+        gammas, betas = qaoa_angles
+        sim = choose_simulator(backend)(n, terms=terms)
+        res = sim.simulate_qaoa(gammas, betas)
+        probs = sim.get_probabilities(res)
+        gs = labs.ground_state_indices(n)
+        assert sim.get_overlap(res) == pytest.approx(float(probs[gs].sum()), abs=1e-12)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_probabilities_sum_to_one(self, backend, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        sim = choose_simulator(backend)(6, terms=small_labs_terms)
+        probs = sim.get_probabilities(sim.simulate_qaoa(gammas, betas))
+        assert probs.sum() == pytest.approx(1.0, abs=1e-10)
+
+    def test_qaoa_improves_over_random_guess(self):
+        """A coarse p=1 angle scan already beats the uniform-sampling average on MaxCut."""
+        graph = maxcut.random_regular_graph(3, 8, seed=5)
+        terms = maxcut.maxcut_terms_from_graph(graph)
+        sim = choose_simulator("c")(8, terms=terms)
+        mean_cost = float(sim.get_cost_diagonal().mean())
+        best = np.inf
+        for gamma in np.linspace(-0.7, 0.7, 8):
+            for beta in np.linspace(-0.7, 0.7, 8):
+                best = min(best, sim.get_expectation(sim.simulate_qaoa([gamma], [beta])))
+        assert best < mean_cost - 0.5
+
+
+class TestSimulateKwargs:
+    def test_unexpected_kwargs_rejected(self, small_labs_terms):
+        for backend in BACKENDS:
+            sim = choose_simulator(backend)(6, terms=small_labs_terms)
+            with pytest.raises(TypeError):
+                sim.simulate_qaoa([0.1], [0.1], bogus=3)
+
+    def test_invalid_trotter_count(self, small_labs_terms):
+        sim = choose_simulator_xyring("c")(6, terms=small_labs_terms)
+        with pytest.raises(ValueError):
+            sim.simulate_qaoa([0.1], [0.1], n_trotters=0)
+
+    def test_xy_trotterization_converges(self, small_labs_terms):
+        """More Trotter slices converge towards the exact XY-mixer evolution."""
+        from scipy.linalg import expm
+
+        n = 4
+        terms = labs.get_terms(n)
+        sim_cls = choose_simulator_xyring("python")
+        beta, gamma = 0.4, 0.3
+
+        # exact mixer: expm(-i beta sum_{ring} (XX+YY)/2) applied after the phase
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+
+        def two_site(op, i, j):
+            mats = [np.eye(2, dtype=complex)] * n
+            mats[i], mats[j] = op, op
+            full = np.array([[1.0]])
+            for q in range(n):
+                full = np.kron(mats[q], full)
+            return full
+
+        from repro.fur.python.furxy import ring_edges
+
+        ham = sum((two_site(x, i, j) + two_site(y, i, j)) / 2 for i, j in ring_edges(n))
+        sim = sim_cls(n, terms=terms)
+        sv0 = np.full(1 << n, 1 / np.sqrt(1 << n), dtype=complex)
+        phase = np.exp(-1j * gamma * sim.get_cost_diagonal())
+        exact = expm(-1j * beta * ham) @ (phase * sv0)
+
+        errors = []
+        for n_trotters in (1, 4, 16):
+            sv = np.asarray(sim.get_statevector(
+                sim.simulate_qaoa([gamma], [beta], n_trotters=n_trotters)))
+            errors.append(np.abs(sv - exact).max())
+        assert errors[1] < errors[0] and errors[2] < errors[1]
+        assert errors[2] < errors[0] / 5
+        assert errors[2] < 5e-3
+
+
+class TestBlockedKernels:
+    """The c backend's blocked kernels must agree with the plain kernels for any block size."""
+
+    @pytest.mark.parametrize("block_size", [1, 3, 8, 64, 100000])
+    def test_su2_blocked_matches_reference(self, rng, block_size):
+        import repro.fur.python.furx as furx
+
+        n = 6
+        sv = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        a, b = furx.su2_x_rotation(0.3)
+        for q in (0, 3, 5):
+            ref = furx.apply_su2(sv.copy(), a, b, q)
+            ws = KernelWorkspace(1 << n, block_size)
+            out = apply_su2_blocked(sv.copy(), a, b, q, ws)
+            np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    @pytest.mark.parametrize("block_size", [1, 5, 32, 100000])
+    def test_furxy_blocked_matches_reference(self, rng, block_size):
+        import repro.fur.python.furxy as furxy
+
+        n = 6
+        sv = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        for (i, j) in [(0, 1), (2, 5), (5, 2), (4, 0)]:
+            ref = furxy.furxy(sv.copy(), 0.41, i, j)
+            ws = KernelWorkspace(1 << n, block_size)
+            out = furxy_blocked(sv.copy(), 0.41, i, j, ws)
+            np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_c_backend_small_blocks_full_run(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        ref_sim = choose_simulator("python")(6, terms=small_labs_terms)
+        ref = np.asarray(ref_sim.get_statevector(ref_sim.simulate_qaoa(gammas, betas)))
+        sim = choose_simulator("c")(6, terms=small_labs_terms, block_size=16)
+        out = np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas)))
+        np.testing.assert_allclose(out, ref, atol=1e-12)
+
+    def test_workspace_validation(self):
+        with pytest.raises(ValueError):
+            KernelWorkspace(64, 0)

@@ -1,0 +1,150 @@
+"""Tests for the circuit container and the gate-by-gate state-vector engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import QuantumCircuit, StatevectorSimulator
+from repro.gates import gate as G
+from repro.gates.statevector import apply_gate
+
+
+def dense_embedding(gate: G.Gate, n: int) -> np.ndarray:
+    """Reference dense embedding built independently with kron + permutation."""
+    from repro.gates.fusion import embed_gate_matrix
+
+    return embed_gate_matrix(gate, tuple(range(n)))
+
+
+class TestCircuit:
+    def test_append_validates_range(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            qc.append(G.h(5))
+
+    def test_builder_methods_and_counts(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).rz(0.1, 2).rzz(0.2, 0, 2).rx(0.3, 1)
+        assert qc.num_gates == 5
+        assert qc.gate_counts() == {"h": 1, "cx": 1, "rz": 1, "rzz": 1, "rx": 1}
+        assert qc.count_multiqubit_gates() == 2
+
+    def test_depth(self):
+        qc = QuantumCircuit(3)
+        qc.h(0).h(1).h(2)          # depth 1 (parallel)
+        qc.cnot(0, 1)              # depth 2
+        qc.cnot(1, 2)              # depth 3
+        assert qc.depth() == 3
+
+    def test_compose_requires_same_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_compose_concatenates(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cnot(0, 1)
+        assert a.compose(b).num_gates == 2
+
+    def test_inverse_undoes_circuit(self):
+        rng = np.random.default_rng(0)
+        qc = QuantumCircuit(3).h(0).rx(0.3, 1).cnot(0, 2).rzz(0.5, 1, 2).rz(0.2, 0)
+        sim = StatevectorSimulator()
+        sv = rng.normal(size=8) + 1j * rng.normal(size=8)
+        sv /= np.linalg.norm(sv)
+        out = sim.run(qc.inverse(), initial_state=sim.run(qc, initial_state=sv))
+        np.testing.assert_allclose(out, sv, atol=1e-12)
+
+    def test_to_unitary_of_cnot(self):
+        qc = QuantumCircuit(2).cnot(0, 1)
+        u = qc.to_unitary()
+        # control = qubit 0 (bit 0): |01>(index1) -> |11>(index3)
+        expected = np.zeros((4, 4))
+        expected[0, 0] = expected[2, 2] = 1
+        expected[3, 1] = expected[1, 3] = 1
+        np.testing.assert_allclose(u, expected, atol=1e-12)
+
+    def test_to_unitary_guard(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(13).to_unitary()
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+
+class TestApplyGate:
+    @pytest.mark.parametrize("gate", [
+        G.h(0), G.h(2), G.x(1), G.rx(0.3, 2), G.rz(0.7, 0), G.cnot(0, 2), G.cnot(2, 0),
+        G.cz(1, 2), G.swap(0, 2), G.rzz(0.4, 2, 0), G.xx_plus_yy(0.5, 1, 0),
+        G.multi_rz(0.3, (0, 2)), G.multi_rz(0.3, (2, 1, 0)),
+    ])
+    def test_matches_dense_embedding(self, rng, gate):
+        n = 3
+        sv = rng.normal(size=8) + 1j * rng.normal(size=8)
+        dense = dense_embedding(gate, n)
+        np.testing.assert_allclose(apply_gate(sv.copy(), gate, n), dense @ sv, atol=1e-11)
+
+    def test_diagonal_gate_applied_in_place(self, rng):
+        sv = rng.normal(size=8) + 1j * rng.normal(size=8)
+        out = apply_gate(sv, G.rz(0.3, 1), 3)
+        assert out is sv
+
+    def test_gate_out_of_range(self, rng):
+        sv = np.zeros(8, dtype=np.complex128)
+        with pytest.raises(ValueError):
+            apply_gate(sv, G.h(3), 3)
+        with pytest.raises(ValueError):
+            apply_gate(np.zeros(7, dtype=np.complex128), G.h(0), 3)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_two_qubit_unitaries(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        q = rng.choice(n, size=2, replace=False)
+        # random unitary via QR
+        a = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        qmat, _ = np.linalg.qr(a)
+        gate = G.unitary(qmat, (int(q[0]), int(q[1])))
+        sv = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        dense = dense_embedding(gate, n)
+        np.testing.assert_allclose(apply_gate(sv.copy(), gate, n), dense @ sv, atol=1e-10)
+
+
+class TestStatevectorSimulator:
+    def test_zero_state_and_bell_state(self):
+        sim = StatevectorSimulator()
+        qc = QuantumCircuit(2).h(0).cnot(0, 1)
+        sv = sim.run(qc)
+        expected = np.zeros(4, dtype=np.complex128)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        np.testing.assert_allclose(sv, expected, atol=1e-12)
+
+    def test_initial_state_not_mutated(self, rng):
+        sim = StatevectorSimulator()
+        sv0 = rng.normal(size=4) + 1j * rng.normal(size=4)
+        sv0_copy = sv0.copy()
+        sim.run(QuantumCircuit(2).h(0), initial_state=sv0)
+        np.testing.assert_array_equal(sv0, sv0_copy)
+
+    def test_initial_state_shape_checked(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator().run(QuantumCircuit(2), initial_state=np.zeros(3))
+
+    def test_single_precision_supported(self):
+        sim = StatevectorSimulator(dtype=np.complex64)
+        sv = sim.run(QuantumCircuit(2).h(0).cnot(0, 1))
+        assert sv.dtype == np.complex64
+        assert np.linalg.norm(sv) == pytest.approx(1.0, abs=1e-6)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(dtype=np.float64)
+
+    def test_expectation_diagonal(self, rng):
+        sim = StatevectorSimulator()
+        sv = rng.normal(size=8) + 1j * rng.normal(size=8)
+        sv /= np.linalg.norm(sv)
+        diag = rng.normal(size=8)
+        assert sim.expectation_diagonal(sv, diag) == pytest.approx(
+            float(np.dot(np.abs(sv) ** 2, diag)))

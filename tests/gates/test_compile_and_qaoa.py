@@ -1,0 +1,148 @@
+"""Tests for term→gate compilation, gate fusion and the gate-based QAOA facade."""
+
+import numpy as np
+import pytest
+
+from repro.fur import choose_simulator, choose_simulator_xycomplete, choose_simulator_xyring
+from repro.fur.diagonal import precompute_cost_diagonal
+from repro.gates import (
+    QAOAGateBasedSimulator,
+    QuantumCircuit,
+    StatevectorSimulator,
+    build_qaoa_circuit,
+    compile_phase_separator,
+    fuse_circuit,
+    initial_plus_state_circuit,
+    phase_separator_gate_count,
+    qaoa_layer_circuit,
+)
+from repro.problems import labs, maxcut
+
+from ..conftest import random_terms
+
+
+class TestPhaseSeparatorCompilation:
+    @pytest.mark.parametrize("strategy", ["ladder", "diagonal"])
+    def test_equals_exponential_of_diagonal(self, rng, strategy):
+        n, gamma = 5, 0.41
+        terms = random_terms(rng, n, 8, max_order=4) + [(0.7, ())]
+        circuit = compile_phase_separator(terms, gamma, n, strategy=strategy)
+        sim = StatevectorSimulator()
+        sv0 = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+        sv0 /= np.linalg.norm(sv0)
+        out = sim.run(circuit, initial_state=sv0)
+        expected = np.exp(-1j * gamma * precompute_cost_diagonal(terms, n)) * sv0
+        np.testing.assert_allclose(out, expected, atol=1e-11)
+
+    def test_ladder_and_diagonal_strategies_agree(self, rng, small_labs_terms):
+        n, gamma = 6, 0.3
+        sv0 = np.full(1 << n, 1 / np.sqrt(1 << n), dtype=np.complex128)
+        sim = StatevectorSimulator()
+        a = sim.run(compile_phase_separator(small_labs_terms, gamma, n, "ladder"), sv0)
+        b = sim.run(compile_phase_separator(small_labs_terms, gamma, n, "diagonal"), sv0)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            compile_phase_separator([(1.0, (0,))], 0.1, 2, strategy="nope")
+
+    def test_gate_count_formula(self):
+        # k-body term -> 2(k-1) CNOTs + 1 RZ under the ladder strategy
+        terms = [(1.0, (0, 1, 2, 3)), (1.0, (0, 1)), (1.0, (2,)), (1.0, ())]
+        assert phase_separator_gate_count(terms, 4, "ladder") == 7 + 3 + 1 + 1
+        assert phase_separator_gate_count(terms, 4, "diagonal") == 4
+        circuit = compile_phase_separator(terms, 0.3, 4, "ladder")
+        assert circuit.num_gates == phase_separator_gate_count(terms, 4, "ladder")
+
+    def test_labs_phase_separator_is_deep(self):
+        """LABS compiles to hundreds of gates per layer — the core motivation."""
+        n = 16
+        count = phase_separator_gate_count(labs.get_terms(n), n, "ladder")
+        assert count > 5 * n  # far more than the n mixer gates the FUR backend needs
+
+
+class TestQAOACircuit:
+    def test_initial_plus_state(self):
+        sim = StatevectorSimulator()
+        sv = sim.run(initial_plus_state_circuit(4))
+        np.testing.assert_allclose(sv, 0.25, atol=1e-12)
+
+    def test_layer_circuit_unknown_mixer(self):
+        with pytest.raises(ValueError):
+            qaoa_layer_circuit([(1.0, (0,))], 0.1, 0.2, 2, mixer="nope")
+
+    def test_full_circuit_matches_fur(self, small_maxcut, qaoa_angles):
+        graph, terms = small_maxcut
+        gammas, betas = qaoa_angles
+        circuit = build_qaoa_circuit(terms, gammas, betas, 6)
+        sv_gate = StatevectorSimulator().run(circuit)
+        fur_sim = choose_simulator("c")(6, terms=terms)
+        sv_fur = np.asarray(fur_sim.get_statevector(fur_sim.simulate_qaoa(gammas, betas)))
+        np.testing.assert_allclose(sv_gate, sv_fur, atol=1e-11)
+
+
+class TestGateFusion:
+    def test_fusion_preserves_state_and_reduces_gates(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        circuit = build_qaoa_circuit(small_labs_terms, gammas, betas, 6)
+        fused = fuse_circuit(circuit, max_fused_qubits=2)
+        assert fused.num_gates < circuit.num_gates
+        sim = StatevectorSimulator()
+        np.testing.assert_allclose(sim.run(fused), sim.run(circuit), atol=1e-10)
+
+    def test_fusion_width_one(self, rng):
+        qc = QuantumCircuit(2).h(0).rz(0.1, 0).rx(0.2, 0).h(1)
+        fused = fuse_circuit(qc, max_fused_qubits=1)
+        assert fused.num_gates == 2  # one fused block per qubit
+        sim = StatevectorSimulator()
+        np.testing.assert_allclose(sim.run(fused), sim.run(qc), atol=1e-12)
+
+    def test_wide_gates_pass_through(self):
+        from repro.gates import gate as G
+
+        qc = QuantumCircuit(3)
+        qc.append(G.multi_rz(0.3, (0, 1, 2)))
+        qc.h(0)
+        fused = fuse_circuit(qc, max_fused_qubits=2)
+        assert fused.num_gates == 2
+
+    def test_invalid_fusion_width(self):
+        with pytest.raises(ValueError):
+            fuse_circuit(QuantumCircuit(2).h(0), max_fused_qubits=0)
+
+    def test_embed_requires_support(self):
+        from repro.gates import gate as G
+        from repro.gates.fusion import embed_gate_matrix
+
+        with pytest.raises(ValueError):
+            embed_gate_matrix(G.cnot(0, 2), (0, 1))
+
+
+class TestGateBasedQAOASimulator:
+    @pytest.mark.parametrize("mixer,chooser", [
+        ("x", choose_simulator), ("xyring", choose_simulator_xyring),
+        ("xycomplete", choose_simulator_xycomplete),
+    ])
+    def test_matches_fur_backends(self, mixer, chooser, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        gate_sim = QAOAGateBasedSimulator(6, terms=small_labs_terms, mixer=mixer)
+        sv_gate = gate_sim.get_statevector(gate_sim.simulate_qaoa(gammas, betas))
+        fur_sim = chooser("c")(6, terms=small_labs_terms)
+        sv_fur = np.asarray(fur_sim.get_statevector(fur_sim.simulate_qaoa(gammas, betas)))
+        np.testing.assert_allclose(sv_gate, sv_fur, atol=1e-11)
+        assert gate_sim.get_expectation(gate_sim.simulate_qaoa(gammas, betas)) == pytest.approx(
+            fur_sim.get_expectation(fur_sim.simulate_qaoa(gammas, betas)), abs=1e-9)
+
+    def test_requires_terms(self):
+        with pytest.raises(ValueError):
+            QAOAGateBasedSimulator(4, costs=np.zeros(16))
+
+    def test_unknown_mixer(self):
+        with pytest.raises(ValueError):
+            QAOAGateBasedSimulator(4, terms=[(1.0, (0,))], mixer="nope")
+
+    def test_layer_circuit_accessible(self, small_maxcut):
+        _, terms = small_maxcut
+        sim = QAOAGateBasedSimulator(6, terms=terms)
+        layer = sim.layer_circuit(0.1, 0.2)
+        assert layer.num_gates == phase_separator_gate_count(terms, 6, "ladder") + 6

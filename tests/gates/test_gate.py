@@ -1,0 +1,116 @@
+"""Tests for the gate library."""
+
+import numpy as np
+import pytest
+
+from repro.gates import gate as G
+
+
+def is_unitary(mat: np.ndarray) -> bool:
+    return np.allclose(mat.conj().T @ mat, np.eye(mat.shape[0]), atol=1e-10)
+
+
+class TestGateContainer:
+    def test_requires_matrix_xor_diagonal(self):
+        with pytest.raises(ValueError):
+            G.Gate("bad", (0,))
+        with pytest.raises(ValueError):
+            G.Gate("bad", (0,), matrix=np.eye(2), diagonal=np.ones(2))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            G.Gate("bad", (0, 1), matrix=np.eye(2))
+        with pytest.raises(ValueError):
+            G.Gate("bad", (0,), diagonal=np.ones(4))
+
+    def test_repeated_and_negative_qubits(self):
+        with pytest.raises(ValueError):
+            G.Gate("bad", (1, 1), matrix=np.eye(4))
+        with pytest.raises(ValueError):
+            G.Gate("bad", (-1,), matrix=np.eye(2))
+
+    def test_to_matrix_from_diagonal(self):
+        gate = G.rz(0.4, 0)
+        np.testing.assert_allclose(gate.to_matrix(), np.diag(gate.diagonal))
+
+    def test_dagger_inverts(self):
+        for gate in (G.h(0), G.rx(0.3, 0), G.rz(0.7, 1), G.cnot(0, 1), G.rzz(0.2, 0, 1)):
+            u = gate.to_matrix()
+            udg = gate.dagger().to_matrix()
+            np.testing.assert_allclose(udg @ u, np.eye(u.shape[0]), atol=1e-12)
+
+    def test_on_retargets(self):
+        gate = G.cnot(0, 1).on(2, 3)
+        assert gate.qubits == (2, 3)
+        with pytest.raises(ValueError):
+            G.cnot(0, 1).on(2)
+
+    def test_is_diagonal_flag(self):
+        assert G.rz(0.1, 0).is_diagonal
+        assert not G.rx(0.1, 0).is_diagonal
+
+
+class TestStandardGates:
+    @pytest.mark.parametrize("factory", [
+        lambda: G.h(0), lambda: G.x(0), lambda: G.y(0), lambda: G.z(0), lambda: G.s(0),
+        lambda: G.t(0), lambda: G.rx(0.3, 0), lambda: G.ry(0.5, 0), lambda: G.rz(0.7, 0),
+        lambda: G.cnot(0, 1), lambda: G.cz(0, 1), lambda: G.swap(0, 1),
+        lambda: G.rzz(0.4, 0, 1), lambda: G.rxx(0.4, 0, 1), lambda: G.ryy(0.4, 0, 1),
+        lambda: G.xx_plus_yy(0.4, 0, 1), lambda: G.multi_rz(0.4, (0, 1, 2)),
+    ])
+    def test_all_gates_unitary(self, factory):
+        assert is_unitary(factory().to_matrix())
+
+    def test_pauli_relations(self):
+        x, y, z = G.x(0).to_matrix(), G.y(0).to_matrix(), G.z(0).to_matrix()
+        np.testing.assert_allclose(x @ y, 1j * z, atol=1e-12)
+        np.testing.assert_allclose(x @ x, np.eye(2), atol=1e-12)
+
+    def test_rotation_generators(self):
+        from scipy.linalg import expm
+
+        theta = 0.37
+        np.testing.assert_allclose(G.rx(theta, 0).to_matrix(),
+                                   expm(-0.5j * theta * G.x(0).to_matrix()), atol=1e-12)
+        np.testing.assert_allclose(G.rz(theta, 0).to_matrix(),
+                                   expm(-0.5j * theta * G.z(0).to_matrix()), atol=1e-12)
+
+    def test_rzz_diagonal_signs(self):
+        theta = 0.5
+        diag = G.rzz(theta, 0, 1).diagonal
+        np.testing.assert_allclose(diag, [np.exp(-0.5j * theta), np.exp(0.5j * theta),
+                                          np.exp(0.5j * theta), np.exp(-0.5j * theta)])
+
+    def test_multi_rz_matches_kron_of_z(self):
+        from scipy.linalg import expm
+
+        theta = 0.61
+        z = G.z(0).to_matrix()
+        zzz = np.kron(np.kron(z, z), z)
+        np.testing.assert_allclose(G.multi_rz(theta, (0, 1, 2)).to_matrix(),
+                                   expm(-0.5j * theta * zzz), atol=1e-12)
+
+    def test_multi_rz_requires_qubits(self):
+        with pytest.raises(ValueError):
+            G.multi_rz(0.1, ())
+
+    def test_xx_plus_yy_block_structure(self):
+        mat = G.xx_plus_yy(0.7, 0, 1).to_matrix()
+        assert mat[0, 0] == pytest.approx(1.0)
+        assert mat[3, 3] == pytest.approx(1.0)
+        assert mat[1, 2] == pytest.approx(-1j * np.sin(0.7))
+
+    def test_global_phase(self):
+        gate = G.global_phase(0.3)
+        np.testing.assert_allclose(gate.diagonal, np.exp(0.3j) * np.ones(2))
+
+    def test_unitary_wrapper_checks(self):
+        with pytest.raises(ValueError):
+            G.unitary(np.array([[1, 1], [0, 1]]), (0,))
+        gate = G.unitary(np.eye(4), (0, 1))
+        assert gate.num_qubits == 2
+
+    def test_identity_and_diagonal_wrapper(self):
+        assert G.identity(0).is_diagonal
+        gate = G.diagonal_gate(np.array([1, 1j, -1, -1j]), (0, 1))
+        assert gate.num_qubits == 2

@@ -1,0 +1,35 @@
+"""The shipped examples must run end-to-end (at reduced problem sizes)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", "8"),
+    ("labs_deep_qaoa.py", "8"),
+    ("maxcut_parameter_optimization.py", "8"),
+    ("distributed_simulation.py", "8"),
+    ("portfolio_xy_mixer.py", "6"),
+]
+
+
+@pytest.mark.parametrize("script,size", EXAMPLES)
+def test_example_runs_cleanly(script, size):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, str(path), size],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_directory_documented_in_readme():
+    readme = (EXAMPLES_DIR.parent / "README.md").read_text()
+    for script, _ in EXAMPLES:
+        assert script in readme, f"{script} not mentioned in README"

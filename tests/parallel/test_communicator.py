@@ -1,0 +1,125 @@
+"""Tests for the thread-based virtual-cluster communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ThreadCluster
+
+
+class TestThreadCluster:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadCluster(0)
+
+    def test_allreduce_sum_scalar_and_array(self):
+        cluster = ThreadCluster(4)
+
+        def spmd(comm):
+            scalar = comm.allreduce_sum(float(comm.rank))
+            arr = comm.allreduce_sum(np.full(3, comm.rank, dtype=np.float64))
+            return scalar, arr
+
+        results = cluster.run(spmd)
+        for scalar, arr in results:
+            assert scalar == pytest.approx(6.0)
+            np.testing.assert_allclose(arr, 6.0)
+
+    def test_alltoall_transposition_semantics(self):
+        cluster = ThreadCluster(4)
+
+        def spmd(comm):
+            # element j*chunk+c encodes (sender, destination, offset)
+            chunk = 2
+            buf = np.array([comm.rank * 100 + j * 10 + c
+                            for j in range(comm.size) for c in range(chunk)], dtype=np.float64)
+            return comm.alltoall(buf)
+
+        results = cluster.run(spmd)
+        for rank, recv in enumerate(results):
+            for src in range(4):
+                for c in range(2):
+                    assert recv[src * 2 + c] == src * 100 + rank * 10 + c
+
+    def test_alltoall_divisibility_check(self):
+        cluster = ThreadCluster(4)
+
+        def spmd(comm):
+            return comm.alltoall(np.zeros(6))
+
+        with pytest.raises(ValueError):
+            cluster.run(spmd)
+
+    def test_allgather_and_bcast(self):
+        cluster = ThreadCluster(3)
+
+        def spmd(comm):
+            gathered = comm.allgather(np.array([comm.rank], dtype=np.int64))
+            value = comm.bcast({"root_rank": comm.rank} if comm.rank == 1 else None, root=1)
+            return gathered, value
+
+        for gathered, value in cluster.run(spmd):
+            assert [int(g[0]) for g in gathered] == [0, 1, 2]
+            assert value == {"root_rank": 1}
+
+    def test_bcast_invalid_root(self):
+        cluster = ThreadCluster(2)
+
+        def spmd(comm):
+            return comm.bcast(1, root=5)
+
+        with pytest.raises(ValueError):
+            cluster.run(spmd)
+
+    def test_sendrecv_pairwise_exchange(self):
+        cluster = ThreadCluster(4)
+
+        def spmd(comm):
+            peer = comm.rank ^ 1
+            out = comm.sendrecv(np.full(2, comm.rank, dtype=np.float64), peer)
+            return peer, out
+
+        for rank, (peer, out) in enumerate(cluster.run(spmd)):
+            np.testing.assert_allclose(out, peer)
+
+    def test_sendrecv_self(self):
+        cluster = ThreadCluster(1)
+
+        def spmd(comm):
+            return comm.sendrecv(np.array([1.0, 2.0]), 0)
+
+        np.testing.assert_allclose(cluster.run(spmd)[0], [1.0, 2.0])
+
+    def test_exception_propagates_without_deadlock(self):
+        cluster = ThreadCluster(3)
+
+        def spmd(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            comm.barrier()
+            return comm.rank
+
+        with pytest.raises(RuntimeError):
+            cluster.run(spmd)
+
+    def test_per_rank_args(self):
+        cluster = ThreadCluster(3)
+
+        def spmd(comm, offset):
+            return comm.rank + offset
+
+        assert cluster.run(spmd, [(10,), (20,), (30,)]) == [10, 21, 32]
+
+    def test_repeated_collectives_stay_consistent(self):
+        """Back-to-back collectives must not race on the shared slots."""
+        cluster = ThreadCluster(4)
+
+        def spmd(comm):
+            total = 0.0
+            for round_ in range(10):
+                buf = np.full(4, comm.rank + round_, dtype=np.float64)
+                out = comm.alltoall(buf)
+                total += float(comm.allreduce_sum(out.sum()))
+            return total
+
+        results = cluster.run(spmd)
+        assert len(set(results)) == 1

@@ -1,0 +1,113 @@
+"""Tests for the cluster topology description and the Fig. 5 performance model."""
+
+import pytest
+
+from repro.parallel import (
+    COMMUNICATION_STRATEGIES,
+    POLARIS_LIKE,
+    SINGLE_NODE_DGX,
+    ClusterTopology,
+    PerformanceModel,
+)
+
+
+class TestTopology:
+    def test_node_mapping(self):
+        topo = POLARIS_LIKE
+        assert topo.node_of(0) == 0
+        assert topo.node_of(3) == 0
+        assert topo.node_of(4) == 1
+        assert topo.same_node(0, 3)
+        assert not topo.same_node(3, 4)
+        assert topo.num_nodes(9) == 3
+
+    def test_link_selection(self):
+        topo = POLARIS_LIKE
+        assert topo.link_bandwidth(0, 1, gpu_direct=True) == topo.intra_node_bandwidth
+        assert topo.link_bandwidth(0, 1, gpu_direct=False) == topo.host_staging_bandwidth
+        assert topo.link_bandwidth(0, 5, gpu_direct=True) == topo.inter_node_bandwidth
+        assert topo.link_latency(0, 1) < topo.link_latency(0, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(gpus_per_node=0, intra_node_bandwidth=1, inter_node_bandwidth=1,
+                            host_staging_bandwidth=1, intra_node_latency=0,
+                            inter_node_latency=0, gpu_memory_bandwidth=1, gpu_memory_capacity=1)
+        with pytest.raises(ValueError):
+            ClusterTopology(gpus_per_node=4, intra_node_bandwidth=-1, inter_node_bandwidth=1,
+                            host_staging_bandwidth=1, intra_node_latency=0,
+                            inter_node_latency=0, gpu_memory_bandwidth=1, gpu_memory_capacity=1)
+        with pytest.raises(ValueError):
+            POLARIS_LIKE.node_of(-1)
+
+
+class TestPerformanceModel:
+    def test_local_sizes_and_memory_fit(self):
+        pm = PerformanceModel(POLARIS_LIKE)
+        assert pm.local_states(33, 8) == 1 << 30
+        assert pm.local_slice_bytes(33, 8) == (1 << 30) * 16
+        # 2^30 amplitudes * 18 B = ~19 GB fits in 40 GB; one more qubit per GPU does not
+        assert pm.fits_in_memory(33, 8)
+        assert not pm.fits_in_memory(35, 8)
+
+    def test_validation(self):
+        pm = PerformanceModel(POLARIS_LIKE)
+        with pytest.raises(ValueError):
+            pm.local_states(10, 3)
+        with pytest.raises(ValueError):
+            pm.local_states(4, 8)
+        with pytest.raises(ValueError):
+            pm.layer_time(30, 8, strategy="smoke-signals")
+        with pytest.raises(ValueError):
+            PerformanceModel(POLARIS_LIKE, state_bytes=0)
+        with pytest.raises(ValueError):
+            PerformanceModel(POLARIS_LIKE, congestion_alpha=-1)
+        with pytest.raises(ValueError):
+            pm.precompute_time(20, 4, 100, device="tpu")
+
+    def test_single_rank_has_no_communication(self):
+        pm = PerformanceModel(POLARIS_LIKE)
+        breakdown = pm.layer_time(24, 1, "mpi_alltoall")
+        assert breakdown.communication_time == 0.0
+        assert breakdown.compute_time > 0.0
+        assert breakdown.communication_fraction == 0.0
+
+    def test_communication_dominates_at_scale(self):
+        """The paper observes the majority of time is spent in communication."""
+        pm = PerformanceModel(POLARIS_LIKE)
+        for strategy in COMMUNICATION_STRATEGIES:
+            breakdown = pm.layer_time(33, 8, strategy)
+            assert breakdown.communication_fraction > 0.5
+
+    def test_cusv_strategy_is_faster(self):
+        """Fig. 5: the cuStateVec communication path beats staged MPI_Alltoall."""
+        pm = PerformanceModel(POLARIS_LIKE)
+        for k in (8, 16, 32, 64, 128):
+            n = 30 + (k.bit_length() - 1)
+            mpi = pm.layer_time(n, k, "mpi_alltoall").total_time
+            cusv = pm.layer_time(n, k, "cusv_p2p").total_time
+            assert cusv < mpi
+
+    def test_weak_scaling_times_grow_with_cluster_size(self):
+        pm = PerformanceModel(POLARIS_LIKE)
+        curve = pm.weak_scaling([8, 16, 32, 64, 128], 30, "mpi_alltoall")
+        totals = [b.total_time for b in curve]
+        assert all(b < a for a, b in zip(totals[1:], totals))  # strictly increasing
+        assert curve[0].n_qubits == 33 and curve[-1].n_qubits == 37
+
+    def test_weak_scaling_validates_rank_counts(self):
+        pm = PerformanceModel(POLARIS_LIKE)
+        with pytest.raises(ValueError):
+            pm.weak_scaling([8, 12], 20)
+
+    def test_gpu_precompute_much_faster_than_cpu(self):
+        """Fig. 4: GPU precomputation is cheap enough to amortize immediately."""
+        pm = PerformanceModel(SINGLE_NODE_DGX)
+        n_terms = 2000
+        assert pm.precompute_time(26, 1, n_terms, "gpu") < 0.1 * pm.precompute_time(
+            26, 1, n_terms, "cpu")
+
+    def test_congestion_increases_time(self):
+        lo = PerformanceModel(POLARIS_LIKE, congestion_alpha=0.0)
+        hi = PerformanceModel(POLARIS_LIKE, congestion_alpha=0.8)
+        assert hi.layer_time(35, 32).total_time > lo.layer_time(35, 32).total_time

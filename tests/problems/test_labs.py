@@ -1,0 +1,117 @@
+"""Tests for the LABS problem (the paper's headline workload)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import labs
+from repro.problems.terms import evaluate_terms_on_index
+
+
+class TestEnergyDefinition:
+    def test_autocorrelations_simple(self):
+        # s = (+,+,-): C_1 = s0 s1 + s1 s2 = 1 - 1 = 0; C_2 = s0 s2 = -1.
+        np.testing.assert_array_equal(labs.autocorrelations([1, 1, -1]), [0, -1])
+
+    def test_autocorrelations_validation(self):
+        with pytest.raises(ValueError):
+            labs.autocorrelations([1, 0, 1])
+        with pytest.raises(ValueError):
+            labs.autocorrelations([[1, 1], [1, 1]])
+
+    def test_energy_constant_sequence(self):
+        # all-ones sequence: C_k = n-k, E = sum (n-k)^2
+        n = 6
+        expected = sum((n - k) ** 2 for k in range(1, n))
+        assert labs.energy_from_spins([1] * n) == expected
+
+    def test_energy_from_index_matches_spins(self):
+        for x in [0, 5, 13, 42]:
+            bits = [(x >> q) & 1 for q in range(6)]
+            spins = [1 - 2 * b for b in bits]
+            assert labs.energy_from_index(x, 6) == labs.energy_from_spins(spins)
+
+    def test_merit_factor(self):
+        assert labs.merit_factor_from_energy(8, 8) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            labs.merit_factor_from_energy(0, 8)
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=60, deadline=None)
+    def test_energy_symmetries(self, n, x):
+        """LABS energy is invariant under global flip and sequence reversal."""
+        x = x % (1 << n)
+        bits = np.array([(x >> q) & 1 for q in range(n)])
+        spins = 1 - 2 * bits
+        e = labs.energy_from_spins(spins)
+        assert labs.energy_from_spins(-spins) == e
+        assert labs.energy_from_spins(spins[::-1]) == e
+
+
+class TestTermGeneration:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 8, 10])
+    def test_terms_reproduce_energies(self, n):
+        terms = labs.get_terms(n)
+        energies = labs.energies_all_sequences(n)
+        for x in range(1 << n):
+            assert evaluate_terms_on_index(terms, x, n) == pytest.approx(float(energies[x]))
+
+    def test_terms_without_offset_differ_by_constant(self):
+        n = 7
+        offset = n * (n - 1) / 2
+        with_off = labs.get_terms(n, include_offset=True)
+        without = labs.get_terms(n, include_offset=False)
+        for x in [0, 3, 77, 127]:
+            assert (evaluate_terms_on_index(with_off, x, n)
+                    - evaluate_terms_on_index(without, x, n)) == pytest.approx(offset)
+
+    def test_term_orders_are_two_and_four(self):
+        terms = labs.get_terms(12, include_offset=False)
+        orders = {len(idx) for _, idx in terms}
+        assert orders == {2, 4}
+
+    def test_number_of_terms_grows_quadratically(self):
+        # The paper quotes ≈75·n terms for n=31; the count is Θ(n²) and for the
+        # exact expansion it exceeds n²/2 well before that.
+        counts = {n: labs.number_of_terms(n) for n in (8, 16, 24)}
+        assert counts[16] > 3 * counts[8]
+        assert counts[24] > 2 * counts[16]
+
+    def test_labs_polynomial_wrapper(self):
+        poly = labs.labs_polynomial(6)
+        assert poly.n == 6
+        assert poly.max_order == 4
+        assert poly.offset == 6 * 5 / 2
+
+    def test_terms_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            labs.get_terms(1)
+
+
+class TestKnownOptima:
+    @pytest.mark.parametrize("n", range(3, 15))
+    def test_table_matches_bruteforce_small(self, n):
+        assert labs.KNOWN_OPTIMAL_ENERGIES[n] == labs.optimal_energy_bruteforce(n)
+
+    def test_true_optimal_energy_lookup_and_fallback(self):
+        assert labs.true_optimal_energy(10) == 13
+        with pytest.raises(KeyError):
+            labs.true_optimal_energy(64)
+
+    def test_optimal_merit_factor(self):
+        # n=13 Barker sequence: E*=6, F* = 169/12
+        assert labs.optimal_merit_factor(13) == pytest.approx(169 / 12)
+
+    def test_ground_state_indices_have_optimal_energy(self):
+        n = 8
+        idx = labs.ground_state_indices(n)
+        assert len(idx) >= 4  # symmetry orbit
+        for x in idx:
+            assert labs.energy_from_index(int(x), n) == labs.KNOWN_OPTIMAL_ENERGIES[n]
+
+    def test_energies_all_sequences_guard(self):
+        with pytest.raises(ValueError):
+            labs.energies_all_sequences(23)
+        with pytest.raises(ValueError):
+            labs.energies_all_sequences(1)

@@ -1,0 +1,121 @@
+"""Tests for the MaxCut problem generators."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.problems import maxcut
+from repro.problems.terms import evaluate_terms_on_index
+
+
+class TestGraphConstruction:
+    def test_graph_from_edges_weighted_and_unweighted(self):
+        g = maxcut.graph_from_edges(3, [(0, 1), (1, 2, 2.5)])
+        assert g.number_of_nodes() == 3
+        assert g[0][1]["weight"] == 1.0
+        assert g[1][2]["weight"] == 2.5
+
+    def test_graph_from_edges_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            maxcut.graph_from_edges(3, [(1, 1)])
+
+    def test_graph_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            maxcut.graph_from_edges(3, [(0, 5)])
+
+    def test_random_regular_graph_degree(self):
+        g = maxcut.random_regular_graph(3, 8, seed=0)
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_random_regular_graph_weighted(self):
+        g = maxcut.random_regular_graph(3, 8, seed=0, weighted=True)
+        weights = [d["weight"] for _, _, d in g.edges(data=True)]
+        assert all(0.0 <= w < 1.0 for w in weights)
+        assert len(set(weights)) > 1
+
+    def test_random_regular_graph_invalid(self):
+        with pytest.raises(ValueError):
+            maxcut.random_regular_graph(8, 4)
+        with pytest.raises(ValueError):
+            maxcut.random_regular_graph(3, 5)
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(ValueError):
+            maxcut.erdos_renyi_graph(5, 1.5)
+        g = maxcut.erdos_renyi_graph(5, 0.0, seed=1)
+        assert g.number_of_edges() == 0
+        assert g.number_of_nodes() == 5
+
+
+class TestTerms:
+    def test_terms_value_equals_negative_cut(self):
+        g = maxcut.random_regular_graph(3, 8, seed=3, weighted=True)
+        terms = maxcut.maxcut_terms_from_graph(g)
+        for x in [0, 1, 17, 100, 255]:
+            cut = maxcut.cut_value_from_index(g, x)
+            val = evaluate_terms_on_index(terms, x, 8)
+            assert val == pytest.approx(-cut)
+
+    def test_terms_without_offset_shifted_spectrum(self):
+        g = nx.path_graph(3)
+        with_off = maxcut.maxcut_terms_from_graph(g, include_offset=True)
+        without = maxcut.maxcut_terms_from_graph(g, include_offset=False)
+        shift = evaluate_terms_on_index(with_off, 0, 3) - evaluate_terms_on_index(without, 0, 3)
+        for x in range(8):
+            diff = (evaluate_terms_on_index(with_off, x, 3)
+                    - evaluate_terms_on_index(without, x, 3))
+            assert diff == pytest.approx(shift)
+
+    def test_get_maxcut_terms_from_edges(self):
+        terms = maxcut.get_maxcut_terms(n=3, edges=[(0, 1), (1, 2)])
+        assert len(terms) == 3  # 2 edges + offset
+
+    def test_get_maxcut_terms_requires_input(self):
+        with pytest.raises(ValueError):
+            maxcut.get_maxcut_terms()
+
+    def test_maxcut_polynomial_wrapper(self):
+        g = nx.cycle_graph(4)
+        poly = maxcut.maxcut_polynomial(g)
+        assert poly.n == 4
+        assert poly.max_order == 2
+
+    def test_complete_graph_terms_matches_listing1(self):
+        n = 5
+        terms = maxcut.complete_graph_terms(n, weight=0.3)
+        expected = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
+        assert terms == sorted(expected, key=lambda t: (len(t[1]), t[1]))
+
+    def test_complete_graph_terms_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            maxcut.complete_graph_terms(1)
+
+
+class TestCutValues:
+    def test_cut_value_simple(self):
+        g = maxcut.graph_from_edges(3, [(0, 1), (1, 2)])
+        assert maxcut.cut_value(g, [0, 1, 0]) == 2.0
+        assert maxcut.cut_value(g, [0, 0, 0]) == 0.0
+
+    def test_bruteforce_optimum_on_known_graphs(self):
+        # Complete bipartite K_{2,3}: optimal cut = all 6 edges.
+        g = nx.complete_bipartite_graph(2, 3)
+        best, x = maxcut.maxcut_optimal_cut_bruteforce(g)
+        assert best == 6.0
+        # Cycle of length 5: optimal cut = 4.
+        best, _ = maxcut.maxcut_optimal_cut_bruteforce(nx.cycle_graph(5))
+        assert best == 4.0
+
+    def test_bruteforce_refuses_large_graphs(self):
+        with pytest.raises(ValueError):
+            maxcut.maxcut_optimal_cut_bruteforce(nx.empty_graph(25))
+
+    def test_bruteforce_optimum_is_max_of_terms(self):
+        g = maxcut.random_regular_graph(3, 8, seed=11, weighted=True)
+        best, x = maxcut.maxcut_optimal_cut_bruteforce(g)
+        terms = maxcut.maxcut_terms_from_graph(g)
+        val = evaluate_terms_on_index(terms, x, 8)
+        assert val == pytest.approx(-best)
+        # no assignment cuts more
+        for y in range(256):
+            assert maxcut.cut_value_from_index(g, y) <= best + 1e-12

@@ -1,0 +1,82 @@
+"""Tests for the portfolio-optimization problem generator."""
+
+import numpy as np
+import pytest
+
+from repro.problems import portfolio
+from repro.problems.terms import evaluate_terms_on_index
+
+
+class TestProblemConstruction:
+    def test_random_problem_properties(self):
+        prob = portfolio.random_portfolio_problem(6, seed=0)
+        assert prob.n == 6
+        assert prob.budget == 3
+        np.testing.assert_allclose(prob.cov, prob.cov.T)
+        # covariance normalized to unit mean variance
+        assert np.mean(np.diag(prob.cov)) == pytest.approx(1.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            portfolio.PortfolioProblem(means=np.ones(3), cov=np.eye(4), risk_aversion=1.0, budget=1)
+        with pytest.raises(ValueError):
+            portfolio.PortfolioProblem(means=np.ones(3), cov=np.eye(3), risk_aversion=1.0, budget=9)
+        asym = np.eye(3)
+        asym[0, 1] = 1.0
+        with pytest.raises(ValueError):
+            portfolio.PortfolioProblem(means=np.ones(3), cov=asym, risk_aversion=1.0, budget=1)
+        with pytest.raises(ValueError):
+            portfolio.random_portfolio_problem(1)
+
+    def test_value_computation(self):
+        prob = portfolio.PortfolioProblem(means=np.array([1.0, 2.0]), cov=np.eye(2),
+                                          risk_aversion=0.5, budget=1)
+        # select asset 1 only: 0.5*1 - 2 = -1.5
+        assert prob.value(np.array([0, 1])) == pytest.approx(-1.5)
+
+
+class TestTerms:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_terms_reproduce_objective(self, seed):
+        prob = portfolio.random_portfolio_problem(6, seed=seed, risk_aversion=0.7)
+        terms = portfolio.portfolio_terms(prob)
+        ref = portfolio.portfolio_cost_vector(prob)
+        for x in range(1 << prob.n):
+            assert evaluate_terms_on_index(terms, x, prob.n) == pytest.approx(ref[x], abs=1e-9)
+
+    def test_terms_max_order_two(self):
+        prob = portfolio.random_portfolio_problem(5, seed=3)
+        terms = portfolio.portfolio_terms(prob, include_offset=False)
+        assert max(len(idx) for _, idx in terms) == 2
+        assert all(len(idx) > 0 for _, idx in terms)
+
+    def test_polynomial_wrapper(self):
+        prob = portfolio.random_portfolio_problem(4, seed=1)
+        poly = portfolio.portfolio_polynomial(prob)
+        assert poly.n == 4
+
+
+class TestConstraints:
+    def test_hamming_weight_indices(self):
+        idx = portfolio.hamming_weight_indices(4, 2)
+        assert len(idx) == 6
+        assert all(bin(int(x)).count("1") == 2 for x in idx)
+        with pytest.raises(ValueError):
+            portfolio.hamming_weight_indices(4, 5)
+
+    def test_best_constrained_selection(self):
+        prob = portfolio.random_portfolio_problem(8, budget=3, seed=5)
+        value, x = portfolio.best_constrained_selection(prob)
+        assert bin(x).count("1") == 3
+        # verify optimality over the feasible set
+        feasible = portfolio.hamming_weight_indices(8, 3)
+        costs = portfolio.portfolio_cost_vector(prob)
+        assert value == pytest.approx(costs[feasible].min())
+
+    def test_cost_vector_guard(self):
+        prob = portfolio.random_portfolio_problem(4, seed=0)
+        big = portfolio.PortfolioProblem(means=np.ones(23), cov=np.eye(23),
+                                         risk_aversion=1.0, budget=5)
+        assert portfolio.portfolio_cost_vector(prob).shape == (16,)
+        with pytest.raises(ValueError):
+            portfolio.portfolio_cost_vector(big)

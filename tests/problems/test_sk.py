@@ -1,0 +1,48 @@
+"""Tests for the Sherrington–Kirkpatrick problem generator."""
+
+import numpy as np
+import pytest
+
+from repro.problems import sk
+from repro.problems.terms import evaluate_terms_on_index, spins_from_index
+
+
+class TestCouplings:
+    def test_symmetric_zero_diagonal(self):
+        j = sk.sk_couplings(6, seed=0)
+        np.testing.assert_allclose(j, j.T)
+        np.testing.assert_allclose(np.diag(j), 0.0)
+
+    def test_seed_reproducibility(self):
+        np.testing.assert_allclose(sk.sk_couplings(5, seed=42), sk.sk_couplings(5, seed=42))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            sk.sk_couplings(1)
+
+
+class TestTerms:
+    def test_terms_count_and_order(self):
+        n = 7
+        terms = sk.get_sk_terms(n, seed=1)
+        assert len(terms) == n * (n - 1) // 2
+        assert all(len(idx) == 2 for _, idx in terms)
+
+    def test_terms_match_reference_energy(self):
+        n = 6
+        couplings = sk.sk_couplings(n, seed=3)
+        terms = sk.get_sk_terms(n, couplings=couplings)
+        for x in range(1 << n):
+            spins = spins_from_index(x, n)
+            assert evaluate_terms_on_index(terms, x, n) == pytest.approx(
+                sk.sk_energy_from_spins(couplings, spins)
+            )
+
+    def test_couplings_shape_validated(self):
+        with pytest.raises(ValueError):
+            sk.get_sk_terms(4, couplings=np.eye(3))
+
+    def test_polynomial_wrapper(self):
+        poly = sk.sk_polynomial(5, seed=0)
+        assert poly.n == 5
+        assert poly.max_order == 2

@@ -1,0 +1,218 @@
+"""Tests for the polynomial-terms representation (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.problems import terms as T
+
+
+class TestNormalization:
+    def test_normalize_sorts_indices(self):
+        assert T.normalize_terms([(1.0, (3, 1, 2))]) == [(1.0, (1, 2, 3))]
+
+    def test_normalize_cancels_repeated_indices(self):
+        # s_0 s_1 s_0 == s_1
+        assert T.normalize_terms([(2.0, (0, 1, 0))]) == [(2.0, (1,))]
+
+    def test_normalize_cancels_square_to_constant(self):
+        assert T.normalize_terms([(2.0, (4, 4))]) == [(2.0, ())]
+
+    def test_normalize_casts_weight_to_float(self):
+        (w, idx), = T.normalize_terms([(3, [0])])
+        assert isinstance(w, float) and idx == (0,)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            T.normalize_terms([(1.0, (-1,))])
+
+    def test_malformed_term_rejected(self):
+        with pytest.raises(ValueError):
+            T.normalize_terms([(1.0,)])
+
+
+class TestAlgebra:
+    def test_simplify_merges_duplicates(self):
+        out = T.simplify_terms([(1.0, (0, 1)), (2.5, (1, 0))])
+        assert out == [(3.5, (0, 1))]
+
+    def test_simplify_drops_zero(self):
+        assert T.simplify_terms([(1.0, (0,)), (-1.0, (0,))]) == []
+
+    def test_multiply_symmetric_difference(self):
+        # (s0 s1) * (s1 s2) = s0 s2
+        out = T.multiply_terms([(2.0, (0, 1))], [(3.0, (1, 2))])
+        assert out == [(6.0, (0, 2))]
+
+    def test_multiply_distributes(self):
+        a = [(1.0, (0,)), (2.0, (1,))]
+        b = [(1.0, (0,))]
+        out = T.multiply_terms(a, b)
+        assert dict(((idx, w) for w, idx in out)) == {(): 1.0, (0, 1): 2.0}
+
+    def test_add_and_scale_and_negate(self):
+        a = [(1.0, (0,))]
+        b = [(2.0, (0,)), (1.0, ())]
+        assert T.add_terms(a, b) == [(1.0, ()), (3.0, (0,))]
+        assert T.scale_terms(a, 2.0) == [(2.0, (0,))]
+        assert T.negate_terms(a) == [(-1.0, (0,))]
+
+    def test_offset_helpers(self):
+        terms = [(1.0, ()), (2.0, (0,)), (3.0, ())]
+        assert T.get_offset(terms) == 4.0
+        rest, off = T.remove_offset(terms)
+        assert off == 4.0 and rest == [(2.0, (0,))]
+
+    def test_order_and_num_variables(self):
+        terms = [(1.0, (0, 3, 5)), (1.0, (2,))]
+        assert T.max_term_order(terms) == 3
+        assert T.num_variables(terms) == 6
+        assert T.max_term_order([]) == 0
+        assert T.num_variables([(1.0, ())]) == 0
+
+    def test_validate_terms_errors(self):
+        with pytest.raises(ValueError):
+            T.validate_terms([(1.0, (5,))], 3)
+        with pytest.raises(ValueError):
+            T.validate_terms([(float("nan"), (0,))], 3)
+        with pytest.raises(ValueError):
+            T.validate_terms([], 0)
+
+
+class TestEvaluation:
+    def test_index_spin_roundtrip(self):
+        for x in range(16):
+            spins = T.spins_from_index(x, 4)
+            assert T.index_from_spins(spins) == x
+            bits = T.bits_from_index(x, 4)
+            assert T.index_from_bits(bits) == x
+
+    def test_bits_little_endian(self):
+        np.testing.assert_array_equal(T.bits_from_index(1, 3), [1, 0, 0])
+        np.testing.assert_array_equal(T.bits_from_index(4, 3), [0, 0, 1])
+
+    def test_spin_convention_bit0_is_plus1(self):
+        np.testing.assert_array_equal(T.spins_from_index(0, 2), [1, 1])
+        np.testing.assert_array_equal(T.spins_from_index(3, 2), [-1, -1])
+
+    def test_evaluate_simple_term(self):
+        assert T.evaluate_terms_on_spins([(2.0, (0, 1))], [1, -1]) == -2.0
+        assert T.evaluate_terms_on_spins([(2.0, ())], [1, -1]) == 2.0
+
+    def test_evaluate_on_bits_and_index_agree(self):
+        terms = [(1.5, (0, 2)), (-0.5, (1,)), (0.25, ())]
+        for x in range(8):
+            bits = T.bits_from_index(x, 3)
+            assert T.evaluate_terms_on_bits(terms, bits) == pytest.approx(
+                T.evaluate_terms_on_index(terms, x, 3)
+            )
+
+    def test_evaluate_rejects_bad_spins(self):
+        with pytest.raises(ValueError):
+            T.evaluate_terms_on_spins([(1.0, (0,))], [0])
+
+    def test_index_errors(self):
+        with pytest.raises(ValueError):
+            T.bits_from_index(8, 3)
+        with pytest.raises(ValueError):
+            T.index_from_bits([0, 2])
+        with pytest.raises(ValueError):
+            T.index_from_spins([1, 0])
+
+    def test_all_spin_configurations_shape_and_values(self):
+        spins = T.all_spin_configurations(3)
+        assert spins.shape == (8, 3)
+        assert set(np.unique(spins)) == {-1, 1}
+        np.testing.assert_array_equal(spins[0], [1, 1, 1])
+        np.testing.assert_array_equal(spins[7], [-1, -1, -1])
+
+    def test_all_spin_configurations_guard(self):
+        with pytest.raises(ValueError):
+            T.all_spin_configurations(0)
+        with pytest.raises(ValueError):
+            T.all_spin_configurations(30)
+
+    def test_brute_force_cost_vector_matches_pointwise(self):
+        terms = [(1.0, (0, 1)), (0.5, (2,)), (-1.0, ())]
+        costs = T.brute_force_cost_vector(terms, 3)
+        for x in range(8):
+            assert costs[x] == pytest.approx(T.evaluate_terms_on_index(terms, x, 3))
+
+
+class TestTermsPolynomial:
+    def test_from_terms_infers_n(self):
+        poly = T.TermsPolynomial.from_terms([(1.0, (0, 4))])
+        assert poly.n == 5
+
+    def test_from_terms_constant_only_needs_n(self):
+        with pytest.raises(ValueError):
+            T.TermsPolynomial.from_terms([(1.0, ())])
+
+    def test_algebra_operations(self):
+        a = T.TermsPolynomial(2, ((1.0, (0,)),))
+        b = T.TermsPolynomial(2, ((2.0, (0,)), (1.0, (1,))))
+        s = (a + b).simplified()
+        assert dict((idx, w) for w, idx in s.terms) == {(0,): 3.0, (1,): 1.0}
+        assert (2.0 * a).terms == ((2.0, (0,)),)
+        assert (-a).terms == ((-1.0, (0,)),)
+
+    def test_queries(self):
+        poly = T.TermsPolynomial(3, ((1.0, (0, 1, 2)), (2.0, ())))
+        assert poly.num_terms == 2
+        assert poly.offset == 2.0
+        assert poly.max_order == 3
+        assert poly.evaluate_index(0) == pytest.approx(3.0)
+        assert poly.cost_vector().shape == (8,)
+        assert poly.as_list() == [(1.0, (0, 1, 2)), (2.0, ())]
+
+    def test_out_of_range_terms_rejected(self):
+        with pytest.raises(ValueError):
+            T.TermsPolynomial(2, ((1.0, (5,)),))
+
+
+@st.composite
+def _term_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    n_terms = draw(st.integers(min_value=1, max_value=8))
+    terms = []
+    for _ in range(n_terms):
+        order = draw(st.integers(min_value=0, max_value=min(3, n)))
+        idx = tuple(sorted(draw(
+            st.lists(st.integers(0, n - 1), min_size=order, max_size=order, unique=True)
+        )))
+        w = draw(st.floats(min_value=-5, max_value=5, allow_nan=False))
+        terms.append((w, idx))
+    return n, terms
+
+
+class TestTermAlgebraProperties:
+    @given(_term_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_simplify_preserves_values(self, data):
+        n, terms = data
+        simplified = T.simplify_terms(terms)
+        for x in range(1 << n):
+            assert T.evaluate_terms_on_index(simplified, x, n) == pytest.approx(
+                T.evaluate_terms_on_index(terms, x, n), abs=1e-9
+            )
+
+    @given(_term_lists(), _term_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_multiply_matches_pointwise_product(self, data_a, data_b):
+        na, a = data_a
+        nb, b = data_b
+        n = max(na, nb)
+        product = T.multiply_terms(a, b)
+        for x in range(1 << n):
+            va = T.evaluate_terms_on_index(a, x, n)
+            vb = T.evaluate_terms_on_index(b, x, n)
+            assert T.evaluate_terms_on_index(product, x, n) == pytest.approx(va * vb, abs=1e-8)
+
+    @given(_term_lists())
+    @settings(max_examples=30, deadline=None)
+    def test_brute_force_vector_matches_per_index_eval(self, data):
+        n, terms = data
+        costs = T.brute_force_cost_vector(terms, n)
+        for x in range(1 << n):
+            assert costs[x] == pytest.approx(T.evaluate_terms_on_index(terms, x, n), abs=1e-9)

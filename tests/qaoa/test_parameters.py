@@ -1,0 +1,113 @@
+"""Tests for QAOA parameter initialization and transfer strategies."""
+
+import numpy as np
+import pytest
+
+from repro.qaoa import parameters as P
+
+
+class TestLinearRamp:
+    def test_shapes_and_monotonicity(self):
+        gammas, betas = P.linear_ramp_parameters(6)
+        assert gammas.shape == betas.shape == (6,)
+        assert np.all(np.diff(gammas) > 0)
+        assert np.all(np.diff(betas) < 0)
+
+    def test_symmetry(self):
+        gammas, betas = P.linear_ramp_parameters(5, delta_t=1.0)
+        np.testing.assert_allclose(gammas, betas[::-1])
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            P.linear_ramp_parameters(0)
+
+    def test_tqa_matches_linear_ramp_scaling(self):
+        g1, b1 = P.tqa_initialization(4)
+        g2, b2 = P.linear_ramp_parameters(4)
+        np.testing.assert_allclose(g1, g2)
+        np.testing.assert_allclose(b1, b2)
+        g3, _ = P.tqa_initialization(4, total_time=8.0)
+        assert g3[-1] > g1[-1]
+
+    def test_random_initialization(self):
+        g, b = P.random_initialization(5, seed=3)
+        assert g.shape == (5,)
+        assert np.all((g >= 0) & (g <= np.pi))
+        assert np.all((b >= 0) & (b <= np.pi / 2))
+        g2, _ = P.random_initialization(5, seed=3)
+        np.testing.assert_allclose(g, g2)
+        with pytest.raises(ValueError):
+            P.random_initialization(0)
+
+
+class TestInterp:
+    def test_preserves_schedule_endpoints_approximately(self):
+        gammas = np.linspace(0.1, 1.0, 4)
+        betas = np.linspace(1.0, 0.1, 4)
+        g2, b2 = P.interp_extrapolate(gammas, betas, 8)
+        assert g2.shape == (8,)
+        assert g2[0] <= g2[-1]
+        assert abs(g2[0] - gammas[0]) < 0.2
+        assert abs(g2[-1] - gammas[-1]) < 0.2
+
+    def test_default_extends_by_one(self):
+        g, b = P.interp_extrapolate([0.1, 0.2], [0.2, 0.1])
+        assert g.shape == (3,)
+
+    def test_same_p_is_copy(self):
+        g, b = P.interp_extrapolate([0.1, 0.2], [0.2, 0.1], 2)
+        np.testing.assert_allclose(g, [0.1, 0.2])
+
+    def test_linear_schedule_is_fixed_point(self):
+        """A linear ramp interpolates onto the linear ramp of the larger depth."""
+        g4, b4 = P.linear_ramp_parameters(4, delta_t=1.0)
+        g8, b8 = P.interp_extrapolate(g4, b4, 8)
+        g8_direct, b8_direct = P.linear_ramp_parameters(8, delta_t=1.0)
+        # interior points follow the same line; endpoints are clamped by np.interp
+        np.testing.assert_allclose(g8[1:-1], g8_direct[1:-1], atol=1e-12)
+        np.testing.assert_allclose(b8[1:-1], b8_direct[1:-1], atol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P.interp_extrapolate([0.1, 0.2], [0.1], 4)
+        with pytest.raises(ValueError):
+            P.interp_extrapolate([0.1, 0.2], [0.2, 0.1], 1)
+
+
+class TestFourier:
+    def test_roundtrip_with_full_basis(self):
+        rng = np.random.default_rng(0)
+        p = 6
+        gammas, betas = rng.uniform(0, 1, p), rng.uniform(0, 1, p)
+        u, v = P.schedule_to_fourier(gammas, betas, p)
+        g2, b2 = P.fourier_to_schedule(u, v, p)
+        np.testing.assert_allclose(g2, gammas, atol=1e-8)
+        np.testing.assert_allclose(b2, betas, atol=1e-8)
+
+    def test_low_frequency_compression(self):
+        p = 10
+        gammas, betas = P.linear_ramp_parameters(p)
+        u, v = P.schedule_to_fourier(gammas, betas, 3)
+        g2, b2 = P.fourier_to_schedule(u, v, p)
+        assert np.max(np.abs(g2 - gammas)) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P.schedule_to_fourier([0.1, 0.2], [0.1, 0.2], 5)
+        with pytest.raises(ValueError):
+            P.fourier_to_schedule([0.1], [0.1, 0.2], 4)
+
+
+class TestStackSplit:
+    def test_roundtrip(self):
+        g, b = np.array([0.1, 0.2]), np.array([0.3, 0.4])
+        theta = P.stack_parameters(g, b)
+        g2, b2 = P.split_parameters(theta)
+        np.testing.assert_allclose(g2, g)
+        np.testing.assert_allclose(b2, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P.stack_parameters([0.1], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            P.split_parameters([0.1, 0.2, 0.3])

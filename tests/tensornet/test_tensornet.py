@@ -1,0 +1,196 @@
+"""Tests for the tensor-network substrate (tensors, networks, contraction, simulator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gates import QuantumCircuit, StatevectorSimulator, build_qaoa_circuit
+from repro.gates import gate as G
+from repro.problems import labs, maxcut
+from repro.tensornet import (
+    TensorNetworkSimulator,
+    Tensor,
+    TensorNetwork,
+    circuit_to_network,
+    contract_network,
+    contraction_width,
+    contract_pair,
+    elimination_order,
+    greedy_contraction_order,
+)
+
+
+class TestTensor:
+    def test_rank_and_label_validation(self):
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), (0,))
+        with pytest.raises(ValueError):
+            Tensor(np.zeros((2, 2)), (0, 0))
+
+    def test_relabel_and_transpose(self):
+        t = Tensor(np.arange(4).reshape(2, 2), (5, 7))
+        assert t.relabel({5: 1}).indices == (1, 7)
+        tt = t.transpose_to((7, 5))
+        np.testing.assert_array_equal(tt.data, t.data.T)
+        with pytest.raises(ValueError):
+            t.transpose_to((1, 2))
+
+    def test_contract_pair_matches_einsum(self, rng):
+        a = Tensor(rng.normal(size=(2, 2, 2)), (0, 1, 2))
+        b = Tensor(rng.normal(size=(2, 2)), (1, 3))
+        out = contract_pair(a, b)
+        expected = np.einsum("ijk,jl->ikl", a.data, b.data)
+        assert out.indices == (0, 2, 3)
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_contract_pair_no_shared_is_outer_product(self, rng):
+        a = Tensor(rng.normal(size=2), (0,))
+        b = Tensor(rng.normal(size=2), (1,))
+        out = contract_pair(a, b)
+        np.testing.assert_allclose(out.data, np.outer(a.data, b.data))
+
+
+class TestNetworkConstruction:
+    def test_circuit_to_network_counts(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).rz(0.3, 2)
+        net = circuit_to_network(qc)
+        # 3 input tensors + 3 gates + 3 projections
+        assert net.num_tensors == 9
+        assert net.open_indices() == []
+
+    def test_output_bits_validation(self):
+        qc = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError):
+            circuit_to_network(qc, [0])
+        with pytest.raises(ValueError):
+            circuit_to_network(qc, [0, 2])
+        with pytest.raises(ValueError):
+            circuit_to_network(qc, [0, 0], initial_state="bogus")
+
+    def test_index_graph_structure(self):
+        qc = QuantumCircuit(2).cnot(0, 1)
+        net = circuit_to_network(qc)
+        g = net.index_graph()
+        assert g.number_of_nodes() == len(net.all_indices())
+
+
+class TestContraction:
+    def test_contract_simple_scalar(self):
+        net = TensorNetwork([Tensor(np.array([1.0, 2.0]), (0,)),
+                             Tensor(np.array([3.0, 4.0]), (0,))])
+        result = contract_network(net)
+        assert result.rank == 0
+        assert float(result.data) == pytest.approx(11.0)
+
+    def test_contract_disconnected_components(self):
+        net = TensorNetwork([
+            Tensor(np.array([1.0, 2.0]), (0,)), Tensor(np.array([1.0, 1.0]), (0,)),
+            Tensor(np.array([5.0, 1.0]), (1,)), Tensor(np.array([1.0, 1.0]), (1,)),
+        ])
+        assert float(contract_network(net).data) == pytest.approx(3.0 * 6.0)
+
+    def test_contract_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            contract_network(TensorNetwork([]))
+
+    def test_greedy_order_executes(self, rng):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).rzz(0.3, 1, 2).rx(0.2, 2)
+        net = circuit_to_network(qc)
+        order = greedy_contraction_order(net)
+        assert len(order) == net.num_tensors - 1
+        result = contract_network(net, order)
+        assert result.rank == 0
+
+    def test_elimination_order_covers_all_indices(self):
+        qc = QuantumCircuit(3).h(0).cnot(0, 1).cnot(1, 2)
+        net = circuit_to_network(qc)
+        for heuristic in ("min_degree", "min_fill"):
+            order = elimination_order(net, heuristic=heuristic)
+            assert sorted(order) == sorted(net.all_indices())
+        with pytest.raises(ValueError):
+            elimination_order(net, heuristic="nope")
+
+    def test_width_of_product_state_circuit_is_small(self):
+        qc = QuantumCircuit(6)
+        for q in range(6):
+            qc.h(q)
+        net = circuit_to_network(qc)
+        assert contraction_width(net) <= 2
+
+    def test_width_grows_for_deep_labs_qaoa(self):
+        """Deep, dense LABS circuits force contraction width ≈ n (Sec. V-A)."""
+        n = 8
+        sim = TensorNetworkSimulator()
+        width_p1 = sim.qaoa_contraction_width(labs.get_terms(n), 1, n)
+        assert width_p1 >= n
+
+
+class TestAmplitudes:
+    @pytest.mark.parametrize("x", [0, 3, 11, 25])
+    def test_amplitude_matches_statevector(self, rng, x):
+        n = 5
+        qc = QuantumCircuit(n)
+        for q in range(n):
+            qc.h(q)
+        qc.cnot(0, 3).rzz(0.4, 1, 2).rx(0.3, 4).rz(0.2, 0)
+        sv = StatevectorSimulator().run(qc)
+        bits = [(x >> q) & 1 for q in range(n)]
+        amp = TensorNetworkSimulator().amplitude(qc, bits)
+        assert amp == pytest.approx(sv[x], abs=1e-12)
+
+    def test_qaoa_amplitude_matches_statevector(self, small_maxcut, qaoa_angles):
+        graph, terms = small_maxcut
+        gammas, betas = qaoa_angles
+        n = 6
+        circuit = build_qaoa_circuit(terms, gammas, betas, n)
+        sv = StatevectorSimulator().run(circuit)
+        sim = TensorNetworkSimulator()
+        for x in (0, 21, 63):
+            bits = [(x >> q) & 1 for q in range(n)]
+            amp = sim.qaoa_amplitude(terms, gammas, betas, n, bits)
+            assert amp == pytest.approx(sv[x], abs=1e-10)
+
+    def test_batch_amplitudes_norm(self, qaoa_angles):
+        n = 4
+        terms = labs.get_terms(n)
+        gammas, betas = qaoa_angles
+        sim = TensorNetworkSimulator()
+        outputs = [[(x >> q) & 1 for q in range(n)] for x in range(1 << n)]
+        circuit = build_qaoa_circuit(terms, gammas, betas, n, include_initial_state=False)
+        amps = sim.batch_amplitudes(circuit, outputs, initial_state="plus")
+        assert np.sum(np.abs(amps) ** 2) == pytest.approx(1.0, abs=1e-10)
+
+    def test_amplitude_with_stats(self, qaoa_angles):
+        n = 4
+        terms = labs.get_terms(n)
+        gammas, betas = qaoa_angles
+        circuit = build_qaoa_circuit(terms, gammas, betas, n, include_initial_state=False)
+        result = TensorNetworkSimulator().amplitude_with_stats(circuit, initial_state="plus")
+        assert result.num_tensors > 0
+        assert result.contraction_width >= 1
+        sv = StatevectorSimulator().run(build_qaoa_circuit(terms, gammas, betas, n))
+        assert result.amplitude == pytest.approx(sv[0], abs=1e-10)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_random_circuit_amplitudes(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 4
+        qc = QuantumCircuit(n)
+        for q in range(n):
+            qc.h(q)
+        for _ in range(6):
+            kind = rng.integers(0, 3)
+            q1, q2 = rng.choice(n, size=2, replace=False)
+            if kind == 0:
+                qc.rx(float(rng.uniform(0, 1)), int(q1))
+            elif kind == 1:
+                qc.cnot(int(q1), int(q2))
+            else:
+                qc.rzz(float(rng.uniform(0, 1)), int(q1), int(q2))
+        sv = StatevectorSimulator().run(qc)
+        x = int(rng.integers(0, 1 << n))
+        bits = [(x >> q) & 1 for q in range(n)]
+        amp = TensorNetworkSimulator().amplitude(qc, bits)
+        assert amp == pytest.approx(sv[x], abs=1e-10)
