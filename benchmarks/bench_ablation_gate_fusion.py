@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.fur import choose_simulator
+import repro
 from repro.gates import StatevectorSimulator, build_qaoa_circuit, fuse_circuit
 
 from .conftest import ramp
@@ -52,7 +52,7 @@ def test_gate_based_fused_f2(benchmark, labs_terms_cache):
 @pytest.mark.benchmark(group="ablation-gate-fusion")
 def test_fur_same_layer(benchmark, labs_terms_cache):
     """The FUR backend on the same single layer."""
-    sim = choose_simulator("c")(N_QUBITS, terms=labs_terms_cache[N_QUBITS])
+    sim = repro.simulator(N_QUBITS, terms=labs_terms_cache[N_QUBITS], backend="c")
     gammas, betas = ramp(1)
     benchmark(lambda: sim.simulate_qaoa(gammas, betas))
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.fur import choose_simulator
+import repro
 from repro.gates import QAOAGateBasedSimulator
 
 from .conftest import ramp
@@ -32,7 +32,7 @@ def end_to_end_expectation(sim, p=P_LAYERS):
 @pytest.mark.benchmark(group="fig2-cpu-maxcut")
 def test_fig2_qokit_c_backend(benchmark, maxcut_terms_cache, n):
     """QOKit-analogue optimized CPU backend ("QOKit CPU" curve)."""
-    sim = choose_simulator("c")(n, terms=maxcut_terms_cache[n])
+    sim = repro.simulator(n, terms=maxcut_terms_cache[n], backend="c")
     result = benchmark(end_to_end_expectation, sim)
     assert result == pytest.approx(result)
 
@@ -41,7 +41,7 @@ def test_fig2_qokit_c_backend(benchmark, maxcut_terms_cache, n):
 @pytest.mark.benchmark(group="fig2-cpu-maxcut")
 def test_fig2_qokit_python_backend(benchmark, maxcut_terms_cache, n):
     """Portable NumPy backend (the paper's ``python`` simulator)."""
-    sim = choose_simulator("python")(n, terms=maxcut_terms_cache[n])
+    sim = repro.simulator(n, terms=maxcut_terms_cache[n], backend="python")
     benchmark(end_to_end_expectation, sim)
 
 
@@ -66,7 +66,7 @@ def test_fig2_shape_fur_beats_gate_based(maxcut_terms_cache):
     import time
 
     n = QUBITS[-1]
-    fur_sim = choose_simulator("c")(n, terms=maxcut_terms_cache[n])
+    fur_sim = repro.simulator(n, terms=maxcut_terms_cache[n], backend="c")
     gate_sim = QAOAGateBasedSimulator(n, terms=maxcut_terms_cache[n])
 
     def timed(sim):

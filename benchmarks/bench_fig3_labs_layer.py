@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.fur import choose_simulator
+import repro
 from repro.gates import QAOAGateBasedSimulator, build_qaoa_circuit, StatevectorSimulator
 from repro.tensornet import TensorNetworkSimulator
 
@@ -38,7 +38,7 @@ def single_layer(sim):
 @pytest.mark.benchmark(group="fig3-labs-layer")
 def test_fig3_fur_c(benchmark, labs_terms_cache, n):
     """"QOKit" curve: blocked CPU FUR backend, one layer."""
-    sim = choose_simulator("c")(n, terms=labs_terms_cache[n])
+    sim = repro.simulator(n, terms=labs_terms_cache[n], backend="c")
     benchmark(single_layer, sim)
 
 
@@ -46,7 +46,7 @@ def test_fig3_fur_c(benchmark, labs_terms_cache, n):
 @pytest.mark.benchmark(group="fig3-labs-layer")
 def test_fig3_fur_python(benchmark, labs_terms_cache, n):
     """Portable NumPy FUR backend, one layer."""
-    sim = choose_simulator("python")(n, terms=labs_terms_cache[n])
+    sim = repro.simulator(n, terms=labs_terms_cache[n], backend="python")
     benchmark(single_layer, sim)
 
 
@@ -54,7 +54,7 @@ def test_fig3_fur_python(benchmark, labs_terms_cache, n):
 @pytest.mark.benchmark(group="fig3-labs-layer")
 def test_fig3_fur_simulated_gpu(benchmark, labs_terms_cache, n):
     """Simulated-GPU FUR backend (numerics identical; device clock modeled)."""
-    sim = choose_simulator("gpu")(n, terms=labs_terms_cache[n])
+    sim = repro.simulator(n, terms=labs_terms_cache[n], backend="gpu")
     benchmark(single_layer, sim)
 
 
@@ -88,7 +88,7 @@ def test_fig3_speedup_summary(labs_terms_cache):
     speedups = {}
     gammas, betas = ramp(1)
     for n in (8, 12):
-        fur_sim = choose_simulator("c")(n, terms=labs_terms_cache[n])
+        fur_sim = repro.simulator(n, terms=labs_terms_cache[n], backend="c")
         gate_sim = QAOAGateBasedSimulator(n, terms=labs_terms_cache[n])
         fur_sim.simulate_qaoa(gammas, betas)  # warm up
 

@@ -17,7 +17,8 @@ import time
 
 import numpy as np
 
-from repro.fur import choose_simulator, precompute_cost_diagonal
+import repro
+from repro.fur import diagonal_cache, precompute_cost_diagonal
 from repro.fur.mpi import QAOAFURXSimulatorCUSVMPI, QAOAFURXSimulatorGPUMPI
 from repro.gates import QAOAGateBasedSimulator, build_qaoa_circuit, fuse_circuit, StatevectorSimulator
 from repro.parallel import POLARIS_LIKE, PerformanceModel
@@ -44,7 +45,7 @@ def fig2(max_n: int = 14) -> None:
     for n in range(6, max_n + 1, 2):
         terms = maxcut.maxcut_terms_from_graph(maxcut.random_regular_graph(3, n, seed=n))
         sims = {
-            "fur": choose_simulator("c")(n, terms=terms),
+            "fur": repro.simulator(n, terms=terms, backend="c"),
             "diag": QAOAGateBasedSimulator(n, terms=terms, phase_strategy="diagonal"),
             "ladder": QAOAGateBasedSimulator(n, terms=terms, phase_strategy="ladder"),
         }
@@ -61,8 +62,8 @@ def fig3(max_n: int = 12, tn_max_n: int = 10) -> None:
     gammas, betas = linear_ramp_parameters(1, delta_t=0.4)
     for n in range(6, max_n + 1, 2):
         terms = labs.get_terms(n)
-        fur_c = choose_simulator("c")(n, terms=terms)
-        fur_py = choose_simulator("python")(n, terms=terms)
+        fur_c = repro.simulator(n, terms=terms, backend="c")
+        fur_py = repro.simulator(n, terms=terms, backend="python")
         gate = QAOAGateBasedSimulator(n, terms=terms)
         t_c = _timed(lambda: fur_c.simulate_qaoa(gammas, betas))
         t_py = _timed(lambda: fur_py.simulate_qaoa(gammas, betas))
@@ -83,13 +84,14 @@ def fig4(n: int = 12) -> None:
     terms = labs.get_terms(n)
     costs = precompute_cost_diagonal(terms, n)
     gate = QAOAGateBasedSimulator(n, terms=terms)
-    ready = choose_simulator("c")(n, costs=costs)
+    ready = repro.simulator(n, costs=costs, backend="c")
     for p in (1, 4, 16, 64, 256):
         gammas, betas = linear_ramp_parameters(p, delta_t=0.4)
         t_ready = _timed(lambda: ready.get_expectation(ready.simulate_qaoa(gammas, betas)), 1)
 
         def with_precompute():
-            sim = choose_simulator("c")(n, terms=terms)
+            with diagonal_cache.bypass():  # time the cold precompute path
+                sim = repro.simulator(n, terms=terms, backend="c")
             sim.get_expectation(sim.simulate_qaoa(gammas, betas))
 
         t_pre = _timed(with_precompute, 1)
@@ -148,7 +150,7 @@ def ablations(n: int = 12) -> None:
     fused = fuse_circuit(circuit, 2)
     sv0 = np.full(1 << n, 1 / np.sqrt(1 << n), dtype=np.complex128)
     engine = StatevectorSimulator()
-    fur = choose_simulator("c")(n, terms=terms)
+    fur = repro.simulator(n, terms=terms, backend="c")
     t_unfused = _timed(lambda: engine.run(circuit, initial_state=sv0), 1)
     t_fused = _timed(lambda: engine.run(fused, initial_state=sv0), 1)
     t_fur = _timed(lambda: fur.simulate_qaoa(gammas, betas))

@@ -18,7 +18,7 @@ import sys
 
 import numpy as np
 
-from repro.fur import choose_simulator
+import repro
 from repro.fur.mpi import QAOAFURXSimulatorCUSVMPI, QAOAFURXSimulatorGPUMPI, run_distributed_qaoa
 from repro.parallel import POLARIS_LIKE, PerformanceModel
 from repro.problems import labs
@@ -31,7 +31,7 @@ def main(n: int = 12) -> None:
     gammas, betas = linear_ramp_parameters(p, delta_t=0.4)
 
     # --- reference: single-node fast simulator ---------------------------------
-    single = choose_simulator("c")(n, terms=terms)
+    single = repro.simulator(n, terms=terms, backend="c")
     ref_state = np.asarray(single.get_statevector(single.simulate_qaoa(gammas, betas)))
     ref_energy = single.get_expectation(single.simulate_qaoa(gammas, betas))
     print(f"LABS n={n}, p={p}: single-node <E> = {ref_energy:.4f}\n")

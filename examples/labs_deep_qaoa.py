@@ -19,7 +19,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import fur
+import repro
 from repro.classical import tabu_search
 from repro.gates import phase_separator_gate_count
 from repro.problems import labs
@@ -36,7 +36,7 @@ def main(n: int = 12) -> None:
           f"{phase_separator_gate_count(terms, n)} gates per phase operator; "
           f"the FUR simulator executes {n} mixer rotations plus one multiply.\n")
 
-    sim = fur.choose_simulator("auto")(n, terms=terms)
+    sim = repro.simulator(n, terms=terms)
 
     print(f"{'p':>4} {'<E>':>10} {'merit factor':>14} {'GS overlap':>12} {'time [s]':>10}")
     for p in (1, 2, 4, 8, 16, 32):

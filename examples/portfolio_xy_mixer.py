@@ -16,7 +16,8 @@ import sys
 
 import numpy as np
 
-from repro.fur import choose_simulator_xyring, dicke_state
+import repro
+from repro.fur import dicke_state
 from repro.problems import portfolio
 from repro.qaoa import get_qaoa_objective, minimize_qaoa
 
@@ -41,7 +42,7 @@ def main(n: int = 8) -> None:
           f"after {result.n_evaluations} evaluations in {result.wall_time:.2f} s")
 
     # --- verify the constraint and inspect the best selections -------------------
-    sim = choose_simulator_xyring("auto")(n, terms=terms)
+    sim = repro.simulator(n, terms=terms, mixer="xyring")
     final = sim.simulate_qaoa(result.gammas, result.betas, sv0=sv0)
     probs = sim.get_probabilities(final)
     infeasible_mass = float(probs.sum() - probs[feasible].sum())

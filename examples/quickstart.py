@@ -25,8 +25,7 @@ def main(n: int = 10) -> None:
     print(f"Weighted all-to-all MaxCut on n={n} qubits: {len(terms)} terms")
 
     # --- simulator ------------------------------------------------------------
-    simclass = repro.fur.choose_simulator(name="auto")
-    sim = simclass(n, terms=terms)
+    sim = repro.simulator(n, terms=terms)  # backend="auto": fastest available
     print(f"Simulator backend: {sim.backend_name!r} (class {type(sim).__name__})")
 
     # --- the precomputed diagonal (the paper's central data structure) --------

@@ -4,7 +4,7 @@ The package mirrors the structure of the paper's QOKit framework:
 
 * :mod:`repro.fur` — the fast QAOA simulators built on the precomputed
   diagonal cost operator (the paper's core contribution), with CPU, simulated
-  GPU and distributed (virtual-cluster) backends;
+  GPU and distributed (virtual-cluster) backends behind one backend registry;
 * :mod:`repro.problems` — MaxCut, LABS, portfolio and SK problem generators;
 * :mod:`repro.qaoa` — objective factories, parameter initialization and
   optimization drivers;
@@ -14,21 +14,46 @@ The package mirrors the structure of the paper's QOKit framework:
   collectives, topology and performance model);
 * :mod:`repro.classical` — classical heuristic solvers used for reference.
 
-Quickstart (Listing 1 of the paper)::
+Quickstart — every backend/mixer combination is constructed through the
+single :func:`repro.simulator` facade::
 
     import repro
-    simclass = repro.fur.choose_simulator(name="auto")
+
     n = 12
     terms = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
-    sim = simclass(n, terms=terms)
-    costs = sim.get_cost_diagonal()
-    result = sim.simulate_qaoa(gamma, beta)
+
+    sim = repro.simulator(n, terms=terms)        # fastest available backend
+    costs = sim.get_cost_diagonal()              # the precomputed diagonal
+    result = sim.simulate_qaoa(gammas, betas)
     energy = sim.get_expectation(result)
+
+    # explicit backend / mixer selection and capability introspection:
+    sim = repro.simulator(n, terms=terms, backend="python", mixer="xyring")
+    spec = repro.fur.get_backend("gpu")          # mixers, device, priority
+
+    # batched evaluation shares the precomputed diagonal across schedules:
+    energies = sim.get_expectation_batch(gammas_batch, betas_batch)
+
+Backends self-register with capability metadata (supported mixers, device
+class, distributed-ness, ``auto`` priority) via
+:func:`repro.fur.register_backend`; see :mod:`repro.fur.registry`.  The
+legacy ``choose_simulator*`` helpers from the paper's Listings 1–3 still
+work but emit ``DeprecationWarning``.
 """
 
 from . import fur, problems
+from .fur.registry import simulator
 from .problems import labs, maxcut, portfolio, sk
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["fur", "problems", "labs", "maxcut", "portfolio", "sk", "__version__"]
+__all__ = [
+    "fur",
+    "problems",
+    "labs",
+    "maxcut",
+    "portfolio",
+    "sk",
+    "simulator",
+    "__version__",
+]

@@ -4,18 +4,32 @@ This package is the reproduction of the paper's core contribution (QOKit's
 ``qokit.fur``).  It exposes
 
 * :class:`~repro.fur.base.QAOAFastSimulatorBase` — the low-level simulation
-  API shared by all backends;
+  API shared by all backends (including batched evaluation,
+  ``simulate_qaoa_batch``);
 * the backend simulator families (``python``, ``c``, ``gpu``, ``gpumpi``,
   ``cusvmpi``), one class per mixer type per backend;
-* the ``choose_simulator*`` helpers from the paper's Listings 1–3, which pick
-  a backend by name (or automatically).
+* the backend registry (:mod:`repro.fur.registry`): every family registers
+  itself with capability metadata (supported mixers, device class,
+  distributed-ness, ``auto`` priority), and :func:`repro.simulator` /
+  :func:`get_backend` / :func:`get_simulator_class` resolve names, aliases
+  and capabilities through it;
+* the process-wide diagonal cache (:mod:`repro.fur.cache`): repeated
+  construction for the same problem reuses the precomputed cost vector;
+* the legacy ``choose_simulator*`` helpers from the paper's Listings 1–3,
+  kept as thin deprecated wrappers over the registry.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import warnings
 
 from .base import QAOAFastSimulatorBase, dicke_state, uniform_superposition
+from .cache import (
+    DiagonalCache,
+    cached_cost_diagonal,
+    diagonal_cache,
+    problem_fingerprint,
+)
 from .diagonal import (
     CompressedDiagonal,
     compress_diagonal,
@@ -24,6 +38,16 @@ from .diagonal import (
     precompute_cost_diagonal,
     precompute_cost_diagonal_from_function,
     precompute_cost_diagonal_slice,
+)
+from .registry import (
+    BackendRegistry,
+    BackendSpec,
+    available_backends,
+    get_backend,
+    get_simulator_class,
+    register_backend,
+    registry,
+    simulator,
 )
 from .cvect import (
     QAOAFURXSimulatorC,
@@ -47,22 +71,63 @@ __all__ = [
     "precompute_cost_diagonal_from_function",
     "diagonal_memory_bytes",
     "diagonal_memory_overhead",
+    "DiagonalCache",
+    "diagonal_cache",
+    "cached_cost_diagonal",
+    "problem_fingerprint",
     "QAOAFURXSimulator",
     "QAOAFURXYRingSimulator",
     "QAOAFURXYCompleteSimulator",
     "QAOAFURXSimulatorC",
     "QAOAFURXYRingSimulatorC",
     "QAOAFURXYCompleteSimulatorC",
+    "BackendRegistry",
+    "BackendSpec",
+    "registry",
+    "register_backend",
+    "get_backend",
+    "get_simulator_class",
+    "simulator",
+    "available_backends",
     "SIMULATORS",
     "choose_simulator",
     "choose_simulator_xyring",
     "choose_simulator_xycomplete",
-    "available_backends",
 ]
 
 
-def _load_gpu_simulators() -> dict[str, type[QAOAFastSimulatorBase]]:
-    """Import the simulated-GPU backend lazily (it is optional at import time)."""
+# ---------------------------------------------------------------------------
+# Built-in backend registrations.  CPU families are imported eagerly above;
+# the simulated-GPU and distributed families stay lazy so a missing optional
+# dependency never breaks `import repro`.
+# ---------------------------------------------------------------------------
+
+@register_backend("c", aliases=("cpu",), mixers=("x", "xyring", "xycomplete"),
+                  device="cpu", distributed=False, priority=100,
+                  description="cache-blocked, allocation-free CPU kernels")
+def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    return {
+        "x": QAOAFURXSimulatorC,
+        "xyring": QAOAFURXYRingSimulatorC,
+        "xycomplete": QAOAFURXYCompleteSimulatorC,
+    }
+
+
+@register_backend("python", aliases=("numpy",), mixers=("x", "xyring", "xycomplete"),
+                  device="cpu", distributed=False, priority=50,
+                  description="portable NumPy reference implementation")
+def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    return {
+        "x": QAOAFURXSimulator,
+        "xyring": QAOAFURXYRingSimulator,
+        "xycomplete": QAOAFURXYCompleteSimulator,
+    }
+
+
+@register_backend("gpu", aliases=("nbcuda",), mixers=("x", "xyring", "xycomplete"),
+                  device="gpu", distributed=False, priority=30,
+                  description="simulated-GPU backend (numba-CUDA analogue)")
+def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .simgpu import (
         QAOAFURXSimulatorGPU,
         QAOAFURXYCompleteSimulatorGPU,
@@ -76,83 +141,72 @@ def _load_gpu_simulators() -> dict[str, type[QAOAFastSimulatorBase]]:
     }
 
 
-def _load_mpi_simulators(kind: str) -> dict[str, type[QAOAFastSimulatorBase]]:
-    """Import a distributed backend lazily.
+@register_backend("gpumpi", mixers=("x",), device="gpu", distributed=True,
+                  priority=20,
+                  description="distributed GPU backend (custom Alltoall, Algorithm 4)")
+def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from .mpi import QAOAFURXSimulatorGPUMPI
 
-    ``kind`` is ``"gpumpi"`` (custom Alltoall communication, Algorithm 4) or
-    ``"cusvmpi"`` (distributed index-bit-swap communication).  The distributed
-    backends implement the transverse-field mixer only, matching the paper's
-    large-scale LABS runs.
-    """
-    from .mpi import QAOAFURXSimulatorCUSVMPI, QAOAFURXSimulatorGPUMPI
+    return {"x": QAOAFURXSimulatorGPUMPI}
 
-    if kind == "gpumpi":
-        return {"x": QAOAFURXSimulatorGPUMPI}
+
+@register_backend("cusvmpi", aliases=("custatevec",), mixers=("x",), device="gpu",
+                  distributed=True, priority=10,
+                  description="distributed index-bit-swap backend (cuStateVec analogue)")
+def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from .mpi import QAOAFURXSimulatorCUSVMPI
+
     return {"x": QAOAFURXSimulatorCUSVMPI}
 
 
-#: Registry of backend name -> mixer name -> simulator class factory.
-SIMULATORS: dict[str, Callable[[], dict[str, type[QAOAFastSimulatorBase]]]] = {
-    "python": lambda: {
-        "x": QAOAFURXSimulator,
-        "xyring": QAOAFURXYRingSimulator,
-        "xycomplete": QAOAFURXYCompleteSimulator,
-    },
-    "c": lambda: {
-        "x": QAOAFURXSimulatorC,
-        "xyring": QAOAFURXYRingSimulatorC,
-        "xycomplete": QAOAFURXYCompleteSimulatorC,
-    },
-    "gpu": _load_gpu_simulators,
-    "gpumpi": lambda: _load_mpi_simulators("gpumpi"),
-    "cusvmpi": lambda: _load_mpi_simulators("cusvmpi"),
-}
+# ---------------------------------------------------------------------------
+# Backwards-compatible views of the registry.
+# ---------------------------------------------------------------------------
 
-#: Aliases accepted by ``choose_simulator(name=...)``.
-_ALIASES = {
-    "auto": "c",
-    "numpy": "python",
-    "nbcuda": "gpu",
-    "custatevec": "cusvmpi",
-}
+def __getattr__(name: str):
+    # Legacy registry views, computed on access so backends registered (or
+    # unregistered) after import time stay visible.  New code should use
+    # :data:`registry` instead.
+    if name == "SIMULATORS":
+        # backend name -> loader returning mixer -> class (the v1.0 shape)
+        return {n: registry.spec(n).load for n in registry.names()}
+    if name == "_ALIASES":
+        # alias -> canonical name; ``auto`` is handled by the registry's
+        # priority-based resolution rather than a hard-wired alias.
+        return registry.aliases()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def available_backends() -> list[str]:
-    """Names of all registered backends."""
-    return list(SIMULATORS)
-
-
-def _choose(mixer: str, name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    backend = _ALIASES.get(name, name)
-    if backend not in SIMULATORS:
-        raise ValueError(
-            f"unknown simulator backend {name!r}; available: {sorted(SIMULATORS) + sorted(_ALIASES)}"
-        )
-    family = SIMULATORS[backend]()
-    if mixer not in family:
-        raise ValueError(
-            f"backend {backend!r} does not implement the {mixer!r} mixer "
-            f"(available mixers: {sorted(family)})"
-        )
-    return family[mixer]
+def _deprecated_chooser(mixer: str, name: str,
+                        replacement: str) -> type[QAOAFastSimulatorBase]:
+    warnings.warn(
+        f"choose_simulator{'_' + mixer if mixer != 'x' else ''}() is deprecated; "
+        f"use {replacement} (or repro.simulator(..., backend={name!r}, "
+        f"mixer={mixer!r})) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return registry.simulator_class(name, mixer)
 
 
 def choose_simulator(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Pick a transverse-field-mixer simulator class by backend name.
+    """Deprecated: pick a transverse-field-mixer simulator class by name.
 
-    Mirrors ``qokit.fur.choose_simulator`` (Listing 1).  ``name='auto'``
-    selects the fastest locally available backend (the blocked ``c`` CPU
-    simulator in this environment); explicit names are ``python``, ``c``,
-    ``gpu``, ``gpumpi`` and ``cusvmpi``.
+    Mirrors ``qokit.fur.choose_simulator`` (Listing 1) and remains for
+    compatibility with the paper's listings; it now resolves through the
+    backend registry.  Use ``repro.fur.get_simulator_class(name)`` or the
+    ``repro.simulator(...)`` facade instead.
     """
-    return _choose("x", name)
+    return _deprecated_chooser("x", name, "repro.fur.get_simulator_class(name)")
 
 
 def choose_simulator_xyring(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Pick a ring-XY-mixer simulator class by backend name (Listing 2 analogue)."""
-    return _choose("xyring", name)
+    """Deprecated: ring-XY-mixer analogue of :func:`choose_simulator` (Listing 2)."""
+    return _deprecated_chooser("xyring", name,
+                               "repro.fur.get_simulator_class(name, mixer='xyring')")
 
 
 def choose_simulator_xycomplete(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Pick a complete-graph-XY-mixer simulator class by backend name (Listing 2)."""
-    return _choose("xycomplete", name)
+    """Deprecated: complete-graph-XY analogue of :func:`choose_simulator` (Listing 2)."""
+    return _deprecated_chooser("xycomplete", name,
+                               "repro.fur.get_simulator_class(name, mixer='xycomplete')")

@@ -29,13 +29,15 @@ from typing import Any
 import numpy as np
 
 from ..problems.terms import Term, validate_terms
-from .diagonal import CompressedDiagonal, precompute_cost_diagonal
+from .cache import cached_cost_diagonal
+from .diagonal import CompressedDiagonal
 
 __all__ = [
     "QAOAFastSimulatorBase",
     "uniform_superposition",
     "dicke_state",
     "validate_angles",
+    "validate_angle_batches",
 ]
 
 
@@ -81,6 +83,29 @@ def validate_angles(gammas: Sequence[float] | np.ndarray,
         )
     if g.shape[0] == 0:
         raise ValueError("at least one QAOA layer is required")
+    if not (np.all(np.isfinite(g)) and np.all(np.isfinite(b))):
+        raise ValueError("QAOA angles must be finite")
+    return g, b
+
+
+def validate_angle_batches(gammas_batch: Sequence[Sequence[float]] | np.ndarray,
+                           betas_batch: Sequence[Sequence[float]] | np.ndarray
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Validate batched QAOA schedules; both must be (batch, p) shaped.
+
+    Accepts ``(B, p)`` arrays or length-``B`` sequences of length-``p``
+    schedules; a single 1-D schedule is promoted to a batch of one.
+    """
+    g = np.atleast_2d(np.asarray(gammas_batch, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(betas_batch, dtype=np.float64))
+    if g.ndim != 2 or b.ndim != 2:
+        raise ValueError("batched angles must be (batch, p) shaped")
+    if g.shape != b.shape:
+        raise ValueError(
+            f"gamma and beta batches must have the same shape, got {g.shape} and {b.shape}"
+        )
+    if g.shape[0] == 0 or g.shape[1] == 0:
+        raise ValueError("angle batches must contain at least one p>=1 schedule")
     if not (np.all(np.isfinite(g)) and np.all(np.isfinite(b))):
         raise ValueError("QAOA angles must be finite")
     return g, b
@@ -133,8 +158,15 @@ class QAOAFastSimulatorBase(abc.ABC):
 
     # -- construction hooks --------------------------------------------------
     def _precompute_diagonal(self, terms: list[Term]) -> np.ndarray:
-        """Precompute the cost diagonal on the host (backends may override)."""
-        return precompute_cost_diagonal(terms, self._n_qubits)
+        """Precompute the cost diagonal on the host (backends may override).
+
+        The default implementation consults the process-wide
+        :data:`~repro.fur.cache.diagonal_cache`, so repeated construction for
+        the same problem (e.g. one objective per optimization restart) reuses
+        the already-computed vector.  The returned array may be a shared
+        read-only view; backends must copy before mutating.
+        """
+        return cached_cost_diagonal(terms, self._n_qubits)
 
     def _ingest_costs(self, costs: np.ndarray | CompressedDiagonal) -> np.ndarray | CompressedDiagonal:
         """Validate a user-provided cost diagonal."""
@@ -171,7 +203,12 @@ class QAOAFastSimulatorBase(abc.ABC):
         return None if self._terms is None else list(self._terms)
 
     def get_cost_diagonal(self) -> np.ndarray:
-        """The precomputed cost vector as a host float64 array."""
+        """The precomputed cost vector as a host float64 array.
+
+        When the diagonal came from the process-wide cache the returned array
+        is **read-only and shared** across simulators of the same problem —
+        copy before mutating (``diag.copy()``).
+        """
         if isinstance(self._hamiltonian_host, CompressedDiagonal):
             return self._hamiltonian_host.decompress()
         return np.asarray(self._hamiltonian_host)
@@ -184,6 +221,45 @@ class QAOAFastSimulatorBase(abc.ABC):
 
         ``sv0`` optionally overrides the initial state (default ``|+>^n``).
         """
+
+    def simulate_qaoa_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
+                            betas_batch: Sequence[Sequence[float]] | np.ndarray,
+                            sv0: np.ndarray | None = None,
+                            **kwargs: Any) -> list[Any]:
+        """Simulate a batch of (γ, β) schedules over the same problem.
+
+        The batches are ``(B, p)`` shaped; entry ``i`` of the returned list is
+        the backend result object for schedule ``i``.  The default
+        implementation loops over :meth:`simulate_qaoa` — the win is that the
+        precomputed diagonal, workspaces and device buffers are shared across
+        the whole batch, which is the access pattern of population-based
+        optimizers and parameter grid scans.  Backends may override with a
+        fused implementation.
+        """
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        return [self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
+                for gi, bi in zip(g, b)]
+
+    def get_expectation_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
+                              betas_batch: Sequence[Sequence[float]] | np.ndarray,
+                              costs: np.ndarray | CompressedDiagonal | None = None,
+                              sv0: np.ndarray | None = None,
+                              **kwargs: Any) -> np.ndarray:
+        """Objective values for a batch of schedules, as a length-``B`` array.
+
+        Unlike :meth:`simulate_qaoa_batch` this never holds more than one
+        evolved state at a time: each schedule is simulated and immediately
+        reduced to ``<γβ|Ĉ|γβ>``, so the memory footprint is independent of
+        the batch size.
+        """
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        resolved = None if costs is None else self._resolve_costs(costs)
+        out = np.empty(g.shape[0], dtype=np.float64)
+        for i, (gi, bi) in enumerate(zip(g, b)):
+            result = self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
+            out[i] = self.get_expectation(result, costs=resolved,
+                                          preserve_state=False)
+        return out
 
     # -- output methods (always return CPU values) ---------------------------
     @abc.abstractmethod

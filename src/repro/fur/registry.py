@@ -1,0 +1,402 @@
+"""Backend registry and the ``repro.simulator`` construction facade.
+
+The paper's portability claim (Listings 1–3: identical user code across CPU,
+GPU and distributed backends) previously leaned on three parallel
+``choose_simulator*`` functions and a dict-of-lambdas.  This module replaces
+them with a single extension point:
+
+* :class:`BackendSpec` — capability metadata for one backend family: the
+  mixers it implements, its device class, whether it is distributed, and a
+  priority used to resolve ``backend="auto"``;
+* :class:`BackendRegistry` — name/alias resolution, capability filtering and
+  lazy loading over a set of specs;
+* :func:`register_backend` — decorator through which backends self-register a
+  lazy loader (the optional GPU/MPI families are only imported when first
+  requested, so a missing optional dependency never breaks ``import repro``);
+* :func:`simulator` — the one construction facade (re-exported as
+  ``repro.simulator``) used by :func:`repro.qaoa.get_qaoa_objective`, the
+  examples and the benchmark harness.
+
+Typical use::
+
+    import repro
+
+    sim = repro.simulator(12, terms=terms)                  # fastest available
+    sim = repro.simulator(12, terms=terms, backend="python")
+    sim = repro.simulator(12, terms=terms, mixer="xyring")  # XY-ring mixer
+
+Registering a new backend from outside the package::
+
+    from repro.fur.registry import register_backend
+
+    @register_backend("mybackend", mixers=("x",), device="cpu", priority=5)
+    def _load_mybackend():
+        from mypkg import MySimulator
+        return {"x": MySimulator}
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import QAOAFastSimulatorBase
+
+__all__ = [
+    "BackendSpec",
+    "BackendRegistry",
+    "registry",
+    "register_backend",
+    "get_backend",
+    "get_simulator_class",
+    "available_backends",
+    "simulator",
+]
+
+#: Mixer families defined by the paper (transverse-field X, ring XY, complete XY).
+KNOWN_MIXERS = ("x", "xyring", "xycomplete")
+
+#: Loader signature: zero-argument callable returning mixer -> simulator class.
+BackendLoader = Callable[[], dict[str, type]]
+
+
+@dataclass
+class BackendSpec:
+    """Capability metadata plus a lazy loader for one backend family.
+
+    Parameters
+    ----------
+    name:
+        Canonical backend name (``"c"``, ``"python"``, ``"gpu"``, ...).
+    loader:
+        Zero-argument callable returning ``{mixer_name: simulator_class}``.
+        Called at most once on success; import errors are remembered so the
+        ``auto`` resolution can skip unavailable backends cheaply.
+    aliases:
+        Alternative names accepted wherever a backend name is (QOKit
+        compatibility names like ``"nbcuda"`` live here).
+    mixers:
+        Mixer names the family implements.
+    device:
+        Device class the state vector lives on (``"cpu"`` or ``"gpu"``).
+    distributed:
+        Whether the backend spreads the state over multiple ranks.  The
+        ``auto`` resolution never picks a distributed backend implicitly.
+    priority:
+        Resolution order for ``backend="auto"`` — highest available priority
+        wins.
+    description:
+        One-line human-readable summary (shown by ``describe()``).
+    """
+
+    name: str
+    loader: BackendLoader
+    aliases: tuple[str, ...] = ()
+    mixers: tuple[str, ...] = ("x",)
+    device: str = "cpu"
+    distributed: bool = False
+    priority: int = 0
+    description: str = ""
+    _classes: dict[str, type] | None = field(default=None, repr=False)
+    _load_error: BaseException | None = field(default=None, repr=False)
+
+    def supports_mixer(self, mixer: str) -> bool:
+        """Whether this family implements the given mixer."""
+        return mixer in self.mixers
+
+    @property
+    def available(self) -> bool:
+        """Whether the backend's modules import successfully (cached)."""
+        try:
+            self.load()
+        except Exception:
+            return False
+        return True
+
+    def load(self) -> dict[str, type]:
+        """Import the backend and return its mixer -> class mapping (cached)."""
+        if self._classes is not None:
+            return self._classes
+        if self._load_error is not None:
+            raise self._load_error
+        try:
+            classes = dict(self.loader())
+        except Exception as exc:  # remember failures: auto must skip fast.
+            # KeyboardInterrupt and friends propagate unmemoized so an
+            # interrupted slow import can be retried later.
+            self._load_error = exc
+            raise
+        missing = [m for m in self.mixers if m not in classes]
+        if missing:
+            raise RuntimeError(
+                f"backend {self.name!r} declared mixers {sorted(missing)} "
+                "but its loader did not provide them"
+            )
+        self._classes = classes
+        return classes
+
+    def simulator_class(self, mixer: str = "x") -> type[QAOAFastSimulatorBase]:
+        """The simulator class for one mixer (loading the backend if needed)."""
+        if not self.supports_mixer(mixer):
+            raise ValueError(
+                f"backend {self.name!r} does not implement the {mixer!r} mixer "
+                f"(it implements: {', '.join(self.mixers)})"
+            )
+        return self.load()[mixer]
+
+
+class BackendRegistry:
+    """Name/alias resolution and capability filtering over backend specs."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, BackendSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+    def register(self, spec: BackendSpec, *, overwrite: bool = False) -> BackendSpec:
+        """Add a backend spec; rejects name/alias collisions unless ``overwrite``."""
+        if not overwrite:
+            taken = self._specs.keys() | self._aliases.keys()
+            clashes = {spec.name, *spec.aliases} & taken
+            if clashes:
+                raise ValueError(
+                    f"backend name(s) already registered: {sorted(clashes)}"
+                )
+        if "auto" in (spec.name, *spec.aliases):
+            raise ValueError("'auto' is reserved for automatic backend resolution")
+        if spec.name in self._specs:  # overwrite: drop the old spec's aliases
+            self.unregister(spec.name)
+        self._specs[spec.name] = spec
+        for alias in spec.aliases:
+            self._aliases[alias] = spec.name
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a backend and its aliases (used by tests and plugins)."""
+        spec = self._specs.pop(name, None)
+        if spec is None:
+            raise KeyError(f"backend {name!r} is not registered")
+        for alias in spec.aliases:
+            if self._aliases.get(alias) == name:
+                del self._aliases[alias]
+
+    def register_backend(self, name: str, *, aliases: Iterable[str] = (),
+                         mixers: Iterable[str] = ("x",), device: str = "cpu",
+                         distributed: bool = False, priority: int = 0,
+                         description: str = "",
+                         overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
+        """Decorator form of :meth:`register` for a lazy loader function.
+
+        The decorated function is the backend's loader: called once, on first
+        use, and must return ``{mixer_name: simulator_class}``.
+        """
+
+        def decorate(loader: BackendLoader) -> BackendLoader:
+            self.register(
+                BackendSpec(
+                    name=name,
+                    loader=loader,
+                    aliases=tuple(aliases),
+                    mixers=tuple(mixers),
+                    device=device,
+                    distributed=distributed,
+                    priority=priority,
+                    description=description or (loader.__doc__ or "").strip().split("\n")[0],
+                ),
+                overwrite=overwrite,
+            )
+            return loader
+
+        return decorate
+
+    # -- inspection ----------------------------------------------------------
+    def names(self) -> list[str]:
+        """Canonical backend names, highest resolution priority first."""
+        return sorted(self._specs, key=lambda n: -self._specs[n].priority)
+
+    def aliases(self) -> dict[str, str]:
+        """Alias -> canonical-name mapping (copy)."""
+        return dict(self._aliases)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs or name in self._aliases
+
+    def __iter__(self):
+        return iter(self.names())
+
+    def describe(self) -> str:
+        """Human-readable table of registered backends and capabilities."""
+        lines = []
+        for name in self.names():
+            spec = self._specs[name]
+            tags = [spec.device]
+            if spec.distributed:
+                tags.append("distributed")
+            alias_note = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+            lines.append(
+                f"{name:>10}  [{'/'.join(tags)}] mixers={','.join(spec.mixers)} "
+                f"priority={spec.priority}{alias_note}  {spec.description}"
+            )
+        return "\n".join(lines)
+
+    # -- resolution ----------------------------------------------------------
+    def _unknown_backend_error(self, name: str) -> ValueError:
+        canonical = sorted(self._specs)
+        aliases = sorted(self._aliases)
+        message = (
+            f"unknown simulator backend {name!r}; "
+            f"backends: {', '.join(canonical)}; "
+            f"aliases: {', '.join(aliases)}; "
+            "or 'auto' to pick the fastest available"
+        )
+        close = difflib.get_close_matches(name, canonical + aliases + ["auto"], n=3)
+        if close:
+            message += f". Did you mean {' or '.join(repr(c) for c in close)}?"
+        return ValueError(message)
+
+    def spec(self, name: str) -> BackendSpec:
+        """Look up a spec by canonical name or alias (no import triggered)."""
+        canonical = self._aliases.get(name, name)
+        try:
+            return self._specs[canonical]
+        except KeyError:
+            raise self._unknown_backend_error(name) from None
+
+    def resolve(self, name: str = "auto", *, mixer: str | None = None) -> BackendSpec:
+        """Resolve a backend request to a concrete, importable spec.
+
+        With ``name="auto"``, the highest-priority non-distributed backend
+        that imports successfully (and implements ``mixer``, if given) is
+        chosen — so a broken optional dependency silently falls back to the
+        next-fastest family instead of failing construction.
+        """
+        if name == "auto":
+            if mixer is not None and not any(
+                s.supports_mixer(mixer) for s in self._specs.values()
+            ):
+                known = sorted({m for s in self._specs.values() for m in s.mixers})
+                raise ValueError(
+                    f"unknown mixer {mixer!r}; registered backends implement: "
+                    f"{', '.join(known)}"
+                )
+            candidates = [
+                s for s in map(self._specs.__getitem__, self.names())
+                if not s.distributed and (mixer is None or s.supports_mixer(mixer))
+            ]
+            errors: list[str] = []
+            for spec in candidates:
+                if spec.available:
+                    return spec
+                errors.append(f"{spec.name}: {spec._load_error!r}")
+            detail = f" (load failures: {'; '.join(errors)})" if errors else ""
+            raise RuntimeError(
+                f"no available backend implements the {mixer!r} mixer{detail}"
+                if mixer is not None
+                else f"no simulator backend is available{detail}"
+            )
+        spec = self.spec(name)
+        if mixer is not None and not spec.supports_mixer(mixer):
+            supporting = [s.name for s in self._specs.values() if s.supports_mixer(mixer)]
+            raise ValueError(
+                f"backend {spec.name!r} does not implement the {mixer!r} mixer "
+                f"(it implements: {', '.join(spec.mixers)}; "
+                f"backends implementing {mixer!r}: {', '.join(sorted(supporting)) or 'none'})"
+            )
+        return spec
+
+    def simulator_class(self, name: str = "auto",
+                        mixer: str = "x") -> type[QAOAFastSimulatorBase]:
+        """Resolve and load the simulator class for a backend/mixer pair."""
+        return self.resolve(name, mixer=mixer).simulator_class(mixer)
+
+
+#: The process-wide registry all public entry points consult.
+registry = BackendRegistry()
+
+#: Module-level decorator bound to the process-wide registry.
+register_backend = registry.register_backend
+
+
+def get_backend(name: str = "auto", *, mixer: str | None = None) -> BackendSpec:
+    """Resolve a backend name/alias to its :class:`BackendSpec`.
+
+    This is the introspection companion of :func:`simulator`: it exposes the
+    capability metadata (supported mixers, device class, distributed-ness)
+    without constructing anything.
+    """
+    return registry.resolve(name, mixer=mixer)
+
+
+def get_simulator_class(name: str = "auto",
+                        mixer: str = "x") -> type[QAOAFastSimulatorBase]:
+    """The simulator class registered for a backend/mixer pair."""
+    return registry.simulator_class(name, mixer)
+
+
+def available_backends(*, mixer: str | None = None,
+                       importable_only: bool = False) -> list[str]:
+    """Names of registered backends, optionally filtered by capability.
+
+    ``mixer`` restricts to families implementing that mixer;
+    ``importable_only`` additionally imports each candidate and drops the ones
+    whose optional dependencies are missing.
+    """
+    names = []
+    for name in sorted(registry.names()):
+        spec = registry.spec(name)
+        if mixer is not None and not spec.supports_mixer(mixer):
+            continue
+        if importable_only and not spec.available:
+            continue
+        names.append(name)
+    return names
+
+
+def simulator(n_qubits: int,
+              terms: Iterable[tuple[float, Iterable[int]]] | None = None,
+              costs: np.ndarray | None = None, *,
+              backend: str | type | Any = "auto",
+              mixer: str = "x",
+              **simulator_kwargs: Any) -> QAOAFastSimulatorBase:
+    """Construct a fast QAOA simulator — the package's single entry point.
+
+    Parameters
+    ----------
+    n_qubits:
+        Number of qubits.
+    terms:
+        Cost polynomial as ``(weight, indices)`` pairs.  Mutually exclusive
+        with ``costs``.
+    costs:
+        Precomputed cost diagonal (skips precomputation).
+    backend:
+        Registry name or alias (``"auto"``, ``"c"``, ``"python"``, ``"gpu"``,
+        ``"gpumpi"``, ``"cusvmpi"``, ...), a simulator *class*, or an
+        already-constructed simulator instance (returned unchanged).
+        ``"auto"`` picks the highest-priority available backend implementing
+        the requested mixer.
+    mixer:
+        ``"x"`` (transverse field), ``"xyring"`` or ``"xycomplete"``.
+    simulator_kwargs:
+        Forwarded to the backend constructor (e.g. ``block_size`` for the
+        ``c`` family, ``n_ranks`` for the distributed families).
+    """
+    from .base import QAOAFastSimulatorBase  # deferred: base imports first
+
+    if isinstance(backend, QAOAFastSimulatorBase):
+        return backend
+    if isinstance(backend, str):
+        cls = registry.simulator_class(backend, mixer)
+    elif isinstance(backend, type) and issubclass(backend, QAOAFastSimulatorBase):
+        cls = backend
+    else:
+        raise TypeError(
+            "backend must be a registry name, a QAOAFastSimulatorBase subclass "
+            f"or instance; got {backend!r}"
+        )
+    return cls(n_qubits, terms=terms, costs=costs, **simulator_kwargs)

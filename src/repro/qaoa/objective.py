@@ -18,17 +18,11 @@ from typing import Any
 
 import numpy as np
 
-from ..fur import choose_simulator, choose_simulator_xycomplete, choose_simulator_xyring
 from ..fur.base import QAOAFastSimulatorBase
+from ..fur.registry import simulator as _construct_simulator
 from .parameters import split_parameters
 
 __all__ = ["QAOAObjective", "get_qaoa_objective", "make_simulator"]
-
-_MIXER_CHOOSERS = {
-    "x": choose_simulator,
-    "xyring": choose_simulator_xyring,
-    "xycomplete": choose_simulator_xycomplete,
-}
 
 
 def make_simulator(n_qubits: int,
@@ -38,19 +32,14 @@ def make_simulator(n_qubits: int,
                    mixer: str = "x", **simulator_kwargs: Any) -> QAOAFastSimulatorBase:
     """Instantiate a simulator from a backend name or class.
 
-    ``backend`` may be a registry name (``auto``, ``python``, ``c``, ``gpu``,
-    ``gpumpi``, ``cusvmpi``), a simulator *class*, or an already-constructed
-    simulator instance (returned unchanged).
+    A thin wrapper over the :func:`repro.simulator` facade, kept for
+    compatibility: ``backend`` may be a registry name or alias (``auto``,
+    ``python``, ``c``, ``gpu``, ``gpumpi``, ``cusvmpi``), a simulator
+    *class*, or an already-constructed simulator instance (returned
+    unchanged).
     """
-    if isinstance(backend, QAOAFastSimulatorBase):
-        return backend
-    if isinstance(backend, str):
-        if mixer not in _MIXER_CHOOSERS:
-            raise ValueError(f"unknown mixer {mixer!r}; choose from {sorted(_MIXER_CHOOSERS)}")
-        cls = _MIXER_CHOOSERS[mixer](backend)
-    else:
-        cls = backend
-    return cls(n_qubits, terms=terms, costs=costs, **simulator_kwargs)
+    return _construct_simulator(n_qubits, terms=terms, costs=costs,
+                                backend=backend, mixer=mixer, **simulator_kwargs)
 
 
 @dataclass
@@ -99,6 +88,48 @@ class QAOAObjective:
             self.best_parameters = theta
         return float(value)
 
+    def evaluate_batch(self, thetas: np.ndarray) -> np.ndarray:
+        """Evaluate the objective for a batch of flat parameter vectors.
+
+        ``thetas`` is ``(B, 2p)`` shaped (a single vector is promoted to a
+        batch of one); the returned array holds one objective value per row.
+        Routes through the simulator's batched API so precomputed data is
+        shared across the whole batch, and keeps the usual bookkeeping
+        (evaluation count, history, best-seen) per row.  This is the natural
+        entry point for population-based optimizers and parameter grid scans.
+        """
+        arr = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
+        if arr.ndim != 2:
+            raise ValueError("thetas must be a (batch, 2p) array")
+        if arr.shape[1] != 2 * self.p:
+            detail = (f"encode p={arr.shape[1] // 2}" if arr.shape[1] % 2 == 0
+                      else "have odd length (no valid p)")
+            raise ValueError(
+                f"parameter vectors of length {arr.shape[1]} {detail}, "
+                f"objective expects p={self.p}"
+            )
+        gammas_batch, betas_batch = arr[:, :self.p], arr[:, self.p:]
+        if self.objective == "expectation":
+            values = self.simulator.get_expectation_batch(
+                gammas_batch, betas_batch, sv0=self.sv0, **self.simulate_kwargs)
+        else:
+            # One simulate+reduce per row: never holds more than one evolved
+            # state, so memory stays independent of the batch size.
+            values = np.array([
+                -self.simulator.get_overlap(
+                    self.simulator.simulate_qaoa(g, b, sv0=self.sv0,
+                                                 **self.simulate_kwargs),
+                    preserve_state=False)
+                for g, b in zip(gammas_batch, betas_batch)
+            ])
+        for theta, value in zip(arr, values):
+            self.n_evaluations += 1
+            self.history.append(float(value))
+            if value < self.best_value:
+                self.best_value = float(value)
+                self.best_parameters = theta.copy()
+        return values
+
     def __call__(self, theta: np.ndarray) -> float:
         gammas, betas = split_parameters(theta)
         if gammas.shape[0] != self.p:
@@ -128,6 +159,11 @@ def get_qaoa_objective(n_qubits: int, p: int,
 
     This is the one-line entry point mirroring QOKit's high-level API: the
     returned object is a plain callable suitable for ``scipy.optimize``.
+    Simulator construction routes through the backend registry
+    (:func:`repro.simulator`), and repeated calls for the same ``terms``
+    reuse the process-wide precomputed-diagonal cache — rebuilding an
+    objective per depth or per restart no longer repeats the O(2^n)
+    precomputation.
     """
     simulator = make_simulator(n_qubits, terms=terms, costs=costs,
                                backend=backend, mixer=mixer, **simulator_kwargs)

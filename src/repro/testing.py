@@ -1,0 +1,31 @@
+"""Shared test/benchmark helpers (random problem instances).
+
+Importable as ``repro.testing`` so the test-suite (and downstream users
+writing their own tests against the simulators) can generate reproducible
+random problems without reaching into pytest ``conftest`` modules — relative
+imports of ``conftest`` are not importable under pytest's rootdir rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .problems.terms import Term, normalize_terms
+
+__all__ = ["random_terms"]
+
+
+def random_terms(rng: np.random.Generator, n: int, n_terms: int,
+                 max_order: int = 3) -> list[Term]:
+    """Random spin-polynomial terms with weights in [-1, 1].
+
+    Each term draws an order uniformly from ``1..max_order`` and a sorted
+    tuple of distinct qubit indices; the result is normalized (like-terms
+    merged) so it is a valid simulator input.
+    """
+    terms = []
+    for _ in range(n_terms):
+        order = int(rng.integers(1, max_order + 1))
+        idx = tuple(sorted(rng.choice(n, size=min(order, n), replace=False).tolist()))
+        terms.append((float(rng.uniform(-1, 1)), idx))
+    return normalize_terms(terms)

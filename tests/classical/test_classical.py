@@ -18,7 +18,7 @@ from repro.classical import (
 from repro.problems import labs, maxcut
 from repro.problems.terms import evaluate_terms_on_spins
 
-from ..conftest import random_terms
+from repro.testing import random_terms
 
 
 class TestBruteForce:

@@ -6,17 +6,9 @@ import numpy as np
 import pytest
 
 from repro.problems import labs, maxcut
-from repro.problems.terms import normalize_terms
+from repro.testing import random_terms
 
-
-def random_terms(rng: np.random.Generator, n: int, n_terms: int, max_order: int = 3):
-    """Random spin-polynomial terms with weights in [-1, 1]."""
-    terms = []
-    for _ in range(n_terms):
-        order = int(rng.integers(1, max_order + 1))
-        idx = tuple(sorted(rng.choice(n, size=min(order, n), replace=False).tolist()))
-        terms.append((float(rng.uniform(-1, 1)), idx))
-    return normalize_terms(terms)
+__all__ = ["random_terms"]
 
 
 @pytest.fixture

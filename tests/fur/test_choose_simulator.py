@@ -1,4 +1,9 @@
-"""Tests for the simulator registry / chooser functions (Listings 1–3 API)."""
+"""Tests for the legacy chooser functions (Listings 1–3 API, now deprecated).
+
+The registry itself is covered in ``test_registry.py``; these tests pin the
+backwards-compatible behaviour of the ``choose_simulator*`` shims: they warn,
+but keep resolving to exactly the classes the seed API returned.
+"""
 
 import pytest
 
@@ -7,44 +12,49 @@ from repro.fur.cvect import QAOAFURXSimulatorC, QAOAFURXYRingSimulatorC
 from repro.fur.python import QAOAFURXSimulator
 
 
+def choose(shim, *args, **kwargs):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        return shim(*args, **kwargs)
+
+
 class TestChoosers:
     def test_default_is_c_backend(self):
-        assert fur.choose_simulator() is QAOAFURXSimulatorC
-        assert fur.choose_simulator("auto") is QAOAFURXSimulatorC
+        assert choose(fur.choose_simulator) is QAOAFURXSimulatorC
+        assert choose(fur.choose_simulator, "auto") is QAOAFURXSimulatorC
 
     def test_explicit_backends(self):
-        assert fur.choose_simulator("python") is QAOAFURXSimulator
-        assert fur.choose_simulator("c") is QAOAFURXSimulatorC
-        assert fur.choose_simulator("gpu").backend_name == "gpu"
-        assert fur.choose_simulator("gpumpi").backend_name == "gpumpi"
-        assert fur.choose_simulator("cusvmpi").backend_name == "cusvmpi"
+        assert choose(fur.choose_simulator, "python") is QAOAFURXSimulator
+        assert choose(fur.choose_simulator, "c") is QAOAFURXSimulatorC
+        assert choose(fur.choose_simulator, "gpu").backend_name == "gpu"
+        assert choose(fur.choose_simulator, "gpumpi").backend_name == "gpumpi"
+        assert choose(fur.choose_simulator, "cusvmpi").backend_name == "cusvmpi"
 
     def test_aliases(self):
-        assert fur.choose_simulator("numpy") is QAOAFURXSimulator
-        assert fur.choose_simulator("nbcuda").backend_name == "gpu"
-        assert fur.choose_simulator("custatevec").backend_name == "cusvmpi"
+        assert choose(fur.choose_simulator, "numpy") is QAOAFURXSimulator
+        assert choose(fur.choose_simulator, "nbcuda").backend_name == "gpu"
+        assert choose(fur.choose_simulator, "custatevec").backend_name == "cusvmpi"
 
     def test_xy_choosers(self):
-        assert fur.choose_simulator_xyring("c") is QAOAFURXYRingSimulatorC
-        assert fur.choose_simulator_xyring("python").mixer_name == "xyring"
-        assert fur.choose_simulator_xycomplete("gpu").mixer_name == "xycomplete"
+        assert choose(fur.choose_simulator_xyring, "c") is QAOAFURXYRingSimulatorC
+        assert choose(fur.choose_simulator_xyring, "python").mixer_name == "xyring"
+        assert choose(fur.choose_simulator_xycomplete, "gpu").mixer_name == "xycomplete"
 
     def test_unknown_backend(self):
         with pytest.raises(ValueError):
-            fur.choose_simulator("does-not-exist")
+            choose(fur.choose_simulator, "does-not-exist")
 
     def test_distributed_backends_only_support_x_mixer(self):
         with pytest.raises(ValueError):
-            fur.choose_simulator_xyring("gpumpi")
+            choose(fur.choose_simulator_xyring, "gpumpi")
         with pytest.raises(ValueError):
-            fur.choose_simulator_xycomplete("cusvmpi")
+            choose(fur.choose_simulator_xycomplete, "cusvmpi")
 
     def test_available_backends(self):
         assert set(fur.available_backends()) == {"python", "c", "gpu", "gpumpi", "cusvmpi"}
 
     def test_listing1_flow(self):
         """The paper's Listing 1, verbatim modulo the package name."""
-        simclass = fur.choose_simulator(name="auto")
+        simclass = choose(fur.choose_simulator, name="auto")
         n = 6
         terms = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
         sim = simclass(n, terms=terms)

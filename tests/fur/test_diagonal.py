@@ -9,7 +9,7 @@ from repro.fur import diagonal as D
 from repro.problems import labs, maxcut
 from repro.problems.terms import brute_force_cost_vector
 
-from ..conftest import random_terms
+from repro.testing import random_terms
 
 
 class TestMasks:

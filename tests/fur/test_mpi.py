@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fur import choose_simulator
+from repro.fur import get_simulator_class
 from repro.fur.mpi import (
     QAOAFURXSimulatorCUSVMPI,
     QAOAFURXSimulatorGPUMPI,
@@ -15,7 +15,7 @@ DISTRIBUTED_CLASSES = [QAOAFURXSimulatorGPUMPI, QAOAFURXSimulatorCUSVMPI]
 
 
 def reference_state(n, terms, gammas, betas):
-    sim = choose_simulator("c")(n, terms=terms)
+    sim = get_simulator_class("c")(n, terms=terms)
     res = sim.simulate_qaoa(gammas, betas)
     return sim, np.asarray(sim.get_statevector(res))
 
@@ -72,7 +72,7 @@ class TestDistributedCorrectness:
         rng = np.random.default_rng(3)
         sv0 = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
         sv0 /= np.linalg.norm(sv0)
-        ref_sim = choose_simulator("c")(n, terms=terms)
+        ref_sim = get_simulator_class("c")(n, terms=terms)
         ref = np.asarray(ref_sim.get_statevector(ref_sim.simulate_qaoa(gammas, betas, sv0=sv0)))
         sim = cls(n, terms=terms, n_ranks=4)
         np.testing.assert_allclose(
@@ -97,7 +97,7 @@ class TestDistributedOutputs:
         n = 8
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        ref_sim = choose_simulator("c")(n, terms=terms)
+        ref_sim = get_simulator_class("c")(n, terms=terms)
         ref_ov = ref_sim.get_overlap(ref_sim.simulate_qaoa(gammas, betas))
         sim = QAOAFURXSimulatorCUSVMPI(n, terms=terms, n_ranks=8)
         assert sim.get_overlap(sim.simulate_qaoa(gammas, betas)) == pytest.approx(ref_ov, abs=1e-10)

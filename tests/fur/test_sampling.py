@@ -3,14 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.fur import choose_simulator
+from repro.fur import get_simulator_class
 from repro.problems import labs
 
 
 class TestSampleBitstrings:
     def test_shape_and_dtype(self, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        sim = get_simulator_class("c")(6, terms=small_labs_terms)
         res = sim.simulate_qaoa(gammas, betas)
         samples = sim.sample_bitstrings(res, 50, seed=0)
         assert samples.shape == (50, 6)
@@ -18,7 +18,7 @@ class TestSampleBitstrings:
 
     def test_reproducible_with_seed(self, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        sim = get_simulator_class("c")(6, terms=small_labs_terms)
         res = sim.simulate_qaoa(gammas, betas)
         a = sim.sample_bitstrings(res, 20, seed=7)
         b = sim.sample_bitstrings(res, 20, seed=7)
@@ -27,7 +27,7 @@ class TestSampleBitstrings:
     def test_deterministic_state_sampling(self):
         """A basis state produces only that bitstring."""
         n = 4
-        sim = choose_simulator("python")(n, terms=[(1.0, (0,))])
+        sim = get_simulator_class("python")(n, terms=[(1.0, (0,))])
         sv0 = np.zeros(1 << n, dtype=np.complex128)
         sv0[5] = 1.0  # bits 1010 little-endian => qubits 0 and 2 are 1
         res = sim.simulate_qaoa([0.0], [0.0], sv0=sv0)
@@ -38,7 +38,7 @@ class TestSampleBitstrings:
         n = 6
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        sim = choose_simulator("c")(n, terms=terms)
+        sim = get_simulator_class("c")(n, terms=terms)
         res = sim.simulate_qaoa(gammas, betas)
         probs = sim.get_probabilities(res)
         samples = sim.sample_bitstrings(res, 20000, seed=3)
@@ -50,7 +50,7 @@ class TestSampleBitstrings:
         n = 8
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        sim = choose_simulator("c")(n, terms=terms)
+        sim = get_simulator_class("c")(n, terms=terms)
         res = sim.simulate_qaoa(gammas, betas)
         expectation = sim.get_expectation(res)
         samples = sim.sample_bitstrings(res, 20000, seed=11)
@@ -59,7 +59,7 @@ class TestSampleBitstrings:
 
     def test_validation(self, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        sim = choose_simulator("c")(6, terms=small_labs_terms)
+        sim = get_simulator_class("c")(6, terms=small_labs_terms)
         res = sim.simulate_qaoa(gammas, betas)
         with pytest.raises(ValueError):
             sim.sample_bitstrings(res, 0)
@@ -68,7 +68,7 @@ class TestSampleBitstrings:
     def test_all_backends_support_sampling(self, backend, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
         kwargs = {"n_ranks": 2} if backend == "gpumpi" else {}
-        sim = choose_simulator(backend)(6, terms=small_labs_terms, **kwargs)
+        sim = get_simulator_class(backend)(6, terms=small_labs_terms, **kwargs)
         res = sim.simulate_qaoa(gammas, betas)
         samples = sim.sample_bitstrings(res, 25, seed=5)
         assert samples.shape == (25, 6)

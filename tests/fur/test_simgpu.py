@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fur import choose_simulator
+from repro.fur import get_simulator_class
 from repro.fur.simgpu import (
     A100_40GB,
     A100_80GB,
@@ -69,19 +69,19 @@ class TestGPUSimulatorParity:
         n = 6
         rng = np.random.default_rng(p)
         gammas, betas = rng.uniform(0, 1, p), rng.uniform(0, 1, p)
-        ref_sim = choose_simulator("c")(n, terms=small_labs_terms)
+        ref_sim = get_simulator_class("c")(n, terms=small_labs_terms)
         ref = np.asarray(ref_sim.get_statevector(ref_sim.simulate_qaoa(gammas, betas)))
-        gpu_sim = choose_simulator("gpu")(n, terms=small_labs_terms)
+        gpu_sim = get_simulator_class("gpu")(n, terms=small_labs_terms)
         res = gpu_sim.simulate_qaoa(gammas, betas)
         np.testing.assert_allclose(gpu_sim.get_statevector(res), ref, atol=1e-12)
         assert gpu_sim.get_expectation(res) == pytest.approx(ref_sim.get_expectation(
             ref_sim.simulate_qaoa(gammas, betas)), abs=1e-10)
 
     def test_xy_ring_gpu_matches_cpu(self, small_labs_terms, qaoa_angles):
-        from repro.fur import choose_simulator_xyring
+        from repro.fur import get_simulator_class
 
         gammas, betas = qaoa_angles
-        ref_sim = choose_simulator_xyring("c")(6, terms=small_labs_terms)
+        ref_sim = get_simulator_class("c", mixer="xyring")(6, terms=small_labs_terms)
         ref = np.asarray(ref_sim.get_statevector(ref_sim.simulate_qaoa(gammas, betas)))
         gpu = QAOAFURXYRingSimulatorGPU(6, terms=small_labs_terms)
         np.testing.assert_allclose(gpu.get_statevector(gpu.simulate_qaoa(gammas, betas)),
@@ -103,8 +103,8 @@ class TestGPUSimulatorParity:
         n = 8
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        cpu = choose_simulator("c")(n, terms=terms)
-        gpu = choose_simulator("gpu")(n, terms=terms)
+        cpu = get_simulator_class("c")(n, terms=terms)
+        gpu = get_simulator_class("gpu")(n, terms=terms)
         ov_cpu = cpu.get_overlap(cpu.simulate_qaoa(gammas, betas))
         ov_gpu = gpu.get_overlap(gpu.simulate_qaoa(gammas, betas))
         assert ov_gpu == pytest.approx(ov_cpu, abs=1e-10)

@@ -5,17 +5,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fur import choose_simulator, choose_simulator_xycomplete, choose_simulator_xyring
+from functools import partial
+
+from repro.fur import get_simulator_class
 from repro.fur.cvect import KernelWorkspace, apply_su2_blocked, furxy_blocked
 from repro.problems import labs, maxcut
 
-from ..conftest import random_terms
+from repro.testing import random_terms
 
 BACKENDS = ["python", "c"]
 CHOOSERS = {
-    "x": choose_simulator,
-    "xyring": choose_simulator_xyring,
-    "xycomplete": choose_simulator_xycomplete,
+    "x": partial(get_simulator_class, mixer="x"),
+    "xyring": partial(get_simulator_class, mixer="xyring"),
+    "xycomplete": partial(get_simulator_class, mixer="xycomplete"),
 }
 
 
@@ -24,7 +26,7 @@ class TestPhaseOperator:
     def test_beta_zero_applies_pure_phases(self, backend, small_labs_terms):
         """With β=0 the layer is diagonal: probabilities stay uniform."""
         n = 6
-        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        sim = get_simulator_class(backend)(n, terms=small_labs_terms)
         res = sim.simulate_qaoa([0.7], [0.0])
         probs = sim.get_probabilities(res)
         np.testing.assert_allclose(probs, 1.0 / (1 << n), atol=1e-12)
@@ -37,7 +39,7 @@ class TestPhaseOperator:
     def test_gamma_zero_leaves_plus_state(self, backend, small_labs_terms):
         """With γ=0 the phase is trivial and |+>^n is a mixer eigenstate."""
         n = 6
-        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        sim = get_simulator_class(backend)(n, terms=small_labs_terms)
         res = sim.simulate_qaoa([0.0], [0.4])
         probs = sim.get_probabilities(res)
         np.testing.assert_allclose(probs, 1.0 / (1 << n), atol=1e-12)
@@ -64,7 +66,7 @@ class TestBackendEquivalence:
         betas = rng.uniform(-1, 1, p)
         results = []
         for backend in BACKENDS:
-            sim = choose_simulator(backend)(n, terms=terms)
+            sim = get_simulator_class(backend)(n, terms=terms)
             results.append(np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas))))
         np.testing.assert_allclose(results[0], results[1], atol=1e-10)
 
@@ -72,7 +74,7 @@ class TestBackendEquivalence:
     def test_norm_preserved_deep_circuit(self, backend, small_labs_terms):
         n, p = 6, 50
         rng = np.random.default_rng(0)
-        sim = choose_simulator(backend)(n, terms=small_labs_terms)
+        sim = get_simulator_class(backend)(n, terms=small_labs_terms)
         res = sim.simulate_qaoa(rng.uniform(0, 1, p), rng.uniform(0, 1, p))
         assert np.linalg.norm(np.asarray(sim.get_statevector(res))) == pytest.approx(1.0, abs=1e-9)
 
@@ -82,7 +84,7 @@ class TestExpectationAndOverlap:
     def test_expectation_matches_manual_inner_product(self, backend, small_maxcut, qaoa_angles):
         graph, terms = small_maxcut
         gammas, betas = qaoa_angles
-        sim = choose_simulator(backend)(6, terms=terms)
+        sim = get_simulator_class(backend)(6, terms=terms)
         res = sim.simulate_qaoa(gammas, betas)
         sv = np.asarray(sim.get_statevector(res))
         manual = float(np.dot(np.abs(sv) ** 2, sim.get_cost_diagonal()))
@@ -91,7 +93,7 @@ class TestExpectationAndOverlap:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_expectation_bounded_by_spectrum(self, backend, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        sim = choose_simulator(backend)(6, terms=small_labs_terms)
+        sim = get_simulator_class(backend)(6, terms=small_labs_terms)
         res = sim.simulate_qaoa(gammas, betas)
         diag = sim.get_cost_diagonal()
         e = sim.get_expectation(res)
@@ -102,7 +104,7 @@ class TestExpectationAndOverlap:
         n = 8
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        sim = choose_simulator(backend)(n, terms=terms)
+        sim = get_simulator_class(backend)(n, terms=terms)
         res = sim.simulate_qaoa(gammas, betas)
         probs = sim.get_probabilities(res)
         gs = labs.ground_state_indices(n)
@@ -111,7 +113,7 @@ class TestExpectationAndOverlap:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_probabilities_sum_to_one(self, backend, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        sim = choose_simulator(backend)(6, terms=small_labs_terms)
+        sim = get_simulator_class(backend)(6, terms=small_labs_terms)
         probs = sim.get_probabilities(sim.simulate_qaoa(gammas, betas))
         assert probs.sum() == pytest.approx(1.0, abs=1e-10)
 
@@ -119,7 +121,7 @@ class TestExpectationAndOverlap:
         """A coarse p=1 angle scan already beats the uniform-sampling average on MaxCut."""
         graph = maxcut.random_regular_graph(3, 8, seed=5)
         terms = maxcut.maxcut_terms_from_graph(graph)
-        sim = choose_simulator("c")(8, terms=terms)
+        sim = get_simulator_class("c")(8, terms=terms)
         mean_cost = float(sim.get_cost_diagonal().mean())
         best = np.inf
         for gamma in np.linspace(-0.7, 0.7, 8):
@@ -131,12 +133,12 @@ class TestExpectationAndOverlap:
 class TestSimulateKwargs:
     def test_unexpected_kwargs_rejected(self, small_labs_terms):
         for backend in BACKENDS:
-            sim = choose_simulator(backend)(6, terms=small_labs_terms)
+            sim = get_simulator_class(backend)(6, terms=small_labs_terms)
             with pytest.raises(TypeError):
                 sim.simulate_qaoa([0.1], [0.1], bogus=3)
 
     def test_invalid_trotter_count(self, small_labs_terms):
-        sim = choose_simulator_xyring("c")(6, terms=small_labs_terms)
+        sim = get_simulator_class("c", mixer="xyring")(6, terms=small_labs_terms)
         with pytest.raises(ValueError):
             sim.simulate_qaoa([0.1], [0.1], n_trotters=0)
 
@@ -146,7 +148,7 @@ class TestSimulateKwargs:
 
         n = 4
         terms = labs.get_terms(n)
-        sim_cls = choose_simulator_xyring("python")
+        sim_cls = get_simulator_class("python", mixer="xyring")
         beta, gamma = 0.4, 0.3
 
         # exact mixer: expm(-i beta sum_{ring} (XX+YY)/2) applied after the phase
@@ -209,9 +211,9 @@ class TestBlockedKernels:
 
     def test_c_backend_small_blocks_full_run(self, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles
-        ref_sim = choose_simulator("python")(6, terms=small_labs_terms)
+        ref_sim = get_simulator_class("python")(6, terms=small_labs_terms)
         ref = np.asarray(ref_sim.get_statevector(ref_sim.simulate_qaoa(gammas, betas)))
-        sim = choose_simulator("c")(6, terms=small_labs_terms, block_size=16)
+        sim = get_simulator_class("c")(6, terms=small_labs_terms, block_size=16)
         out = np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas)))
         np.testing.assert_allclose(out, ref, atol=1e-12)
 

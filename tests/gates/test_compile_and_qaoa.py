@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.fur import choose_simulator, choose_simulator_xycomplete, choose_simulator_xyring
+from functools import partial
+
+from repro.fur import get_simulator_class
 from repro.fur.diagonal import precompute_cost_diagonal
 from repro.gates import (
     QAOAGateBasedSimulator,
@@ -18,7 +20,7 @@ from repro.gates import (
 )
 from repro.problems import labs, maxcut
 
-from ..conftest import random_terms
+from repro.testing import random_terms
 
 
 class TestPhaseSeparatorCompilation:
@@ -76,7 +78,7 @@ class TestQAOACircuit:
         gammas, betas = qaoa_angles
         circuit = build_qaoa_circuit(terms, gammas, betas, 6)
         sv_gate = StatevectorSimulator().run(circuit)
-        fur_sim = choose_simulator("c")(6, terms=terms)
+        fur_sim = get_simulator_class("c")(6, terms=terms)
         sv_fur = np.asarray(fur_sim.get_statevector(fur_sim.simulate_qaoa(gammas, betas)))
         np.testing.assert_allclose(sv_gate, sv_fur, atol=1e-11)
 
@@ -120,8 +122,9 @@ class TestGateFusion:
 
 class TestGateBasedQAOASimulator:
     @pytest.mark.parametrize("mixer,chooser", [
-        ("x", choose_simulator), ("xyring", choose_simulator_xyring),
-        ("xycomplete", choose_simulator_xycomplete),
+        ("x", partial(get_simulator_class, mixer="x")),
+        ("xyring", partial(get_simulator_class, mixer="xyring")),
+        ("xycomplete", partial(get_simulator_class, mixer="xycomplete")),
     ])
     def test_matches_fur_backends(self, mixer, chooser, small_labs_terms, qaoa_angles):
         gammas, betas = qaoa_angles

@@ -12,17 +12,17 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.fur import choose_simulator
+from repro.fur import get_simulator_class
 from repro.gates import QAOAGateBasedSimulator
 from repro.problems import labs, maxcut, portfolio, sk
 
-from ..conftest import random_terms
+from repro.testing import random_terms
 
 ALL_BACKENDS = ["python", "c", "gpu", "gpumpi", "cusvmpi"]
 
 
 def build(backend, n, terms):
-    cls = choose_simulator(backend)
+    cls = get_simulator_class(backend)
     kwargs = {"n_ranks": 4} if backend in ("gpumpi", "cusvmpi") else {}
     return cls(n, terms=terms, **kwargs)
 
@@ -83,7 +83,7 @@ class TestAllBackendsAgree:
         gammas, betas = qaoa_angles
         for backend in ALL_BACKENDS:
             sim_terms = build(backend, n, terms)
-            cls = choose_simulator(backend)
+            cls = get_simulator_class(backend)
             kwargs = {"n_ranks": 4} if backend in ("gpumpi", "cusvmpi") else {}
             sim_costs = cls(n, costs=costs, **kwargs)
             sv_a = np.asarray(sim_terms.get_statevector(sim_terms.simulate_qaoa(gammas, betas)))
@@ -99,8 +99,8 @@ class TestAllBackendsAgree:
         costs = precompute_cost_diagonal(terms, n)
         compressed = compress_diagonal(costs)
         gammas, betas = qaoa_angles
-        sim_full = choose_simulator("c")(n, costs=costs)
-        sim_comp = choose_simulator("c")(n, costs=compressed)
+        sim_full = get_simulator_class("c")(n, costs=costs)
+        sim_comp = get_simulator_class("c")(n, costs=compressed)
         e_full = sim_full.get_expectation(sim_full.simulate_qaoa(gammas, betas))
         e_comp = sim_comp.get_expectation(sim_comp.simulate_qaoa(gammas, betas))
         assert e_comp == pytest.approx(e_full, abs=1e-10)

@@ -21,7 +21,7 @@ from repro.tensornet import TensorNetworkSimulator
 class TestPaperListings:
     def test_listing_1_weighted_maxcut(self):
         """Listing 1: weighted all-to-all MaxCut objective evaluation."""
-        simclass = fur.choose_simulator(name="auto")
+        simclass = fur.get_simulator_class(name="auto")
         n = 8
         terms = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
         sim = simclass(n, terms=terms)
@@ -34,7 +34,7 @@ class TestPaperListings:
 
     def test_listing_2_labs_xy_complete(self):
         """Listing 2: LABS with the complete-graph XY mixer."""
-        simclass = fur.choose_simulator_xycomplete()
+        simclass = fur.get_simulator_class(mixer="xycomplete")
         n = 8
         terms = labs.get_terms(n)
         sim = simclass(n, terms=terms)
@@ -45,14 +45,14 @@ class TestPaperListings:
 
     def test_listing_3_distributed_labs(self):
         """Listing 3: LABS on the distributed (cusvmpi) backend."""
-        simclass = fur.choose_simulator(name="cusvmpi")
+        simclass = fur.get_simulator_class(name="cusvmpi")
         n = 10
         terms = labs.get_terms(n)
         sim = simclass(n, terms=terms, n_ranks=4)
         gamma, beta = linear_ramp_parameters(2)
         result = sim.simulate_qaoa(gamma, beta)
         energy = sim.get_expectation(result, preserve_state=False)
-        single = fur.choose_simulator("c")(n, terms=terms)
+        single = fur.get_simulator_class("c")(n, terms=terms)
         expected = single.get_expectation(single.simulate_qaoa(gamma, beta))
         assert energy == pytest.approx(expected, abs=1e-9)
 
@@ -103,7 +103,7 @@ class TestOptimizationWorkflow:
         targets."""
         n = 8
         terms = labs.get_terms(n)
-        sim = fur.choose_simulator("c")(n, terms=terms)
+        sim = fur.get_simulator_class("c")(n, terms=terms)
         overlaps = []
         for p in (1, 8, 16):
             gammas, betas = linear_ramp_parameters(p, delta_t=0.3)
@@ -147,7 +147,7 @@ class TestTensorNetworkCrossCheck:
         n = 6
         terms = labs.get_terms(n)
         gammas, betas = qaoa_angles
-        sim = fur.choose_simulator("c")(n, terms=terms)
+        sim = fur.get_simulator_class("c")(n, terms=terms)
         sv = np.asarray(sim.get_statevector(sim.simulate_qaoa(gammas, betas)))
         tns = TensorNetworkSimulator()
         x = int(labs.ground_state_indices(n)[0])
@@ -161,7 +161,7 @@ class TestSolutionQualityAgainstClassical:
         """With enough depth the optimum appears with amplified probability."""
         n = 8
         terms = labs.get_terms(n)
-        sim = fur.choose_simulator("c")(n, terms=terms)
+        sim = fur.get_simulator_class("c")(n, terms=terms)
         gammas, betas = linear_ramp_parameters(16, delta_t=0.3)
         res = sim.simulate_qaoa(gammas, betas)
         probs = sim.get_probabilities(res)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fur import choose_simulator, dicke_state
+from repro.fur import dicke_state, get_simulator_class
 from repro.gates import QAOAGateBasedSimulator
 from repro.problems import labs, maxcut
 from repro.qaoa import (
@@ -37,7 +37,7 @@ class TestObjective:
         gammas, betas = qaoa_angles
         obj = get_qaoa_objective(6, 2, terms=terms, backend="c")
         value = obj(stack_parameters(gammas, betas))
-        sim = choose_simulator("c")(6, terms=terms)
+        sim = get_simulator_class("c")(6, terms=terms)
         expected = sim.get_expectation(sim.simulate_qaoa(gammas, betas))
         assert value == pytest.approx(expected, abs=1e-12)
 
@@ -59,7 +59,7 @@ class TestObjective:
         gammas, betas = qaoa_angles
         obj = get_qaoa_objective(n, 2, terms=terms, backend="c", objective="overlap")
         value = obj(stack_parameters(gammas, betas))
-        sim = choose_simulator("c")(n, terms=terms)
+        sim = get_simulator_class("c")(n, terms=terms)
         overlap = sim.get_overlap(sim.simulate_qaoa(gammas, betas))
         assert value == pytest.approx(-overlap, abs=1e-12)
 
