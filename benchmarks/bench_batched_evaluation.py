@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Fused batched evaluation vs the looped default (the Fig. 2 access pattern).
+
+The paper's headline result is end-to-end parameter-optimization speed:
+thousands of objective evaluations over the *same* precomputed diagonal.
+This benchmark measures the fused batch engines (``simulate_qaoa_batch`` /
+``get_expectation_batch`` overrides evolving a ``(B, 2^n)`` state block)
+against the looped base-class default, on the LABS workload the paper uses.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batched_evaluation.py           # full size
+    PYTHONPATH=src python benchmarks/bench_batched_evaluation.py --smoke   # CI-sized
+    PYTHONPATH=src python benchmarks/bench_batched_evaluation.py --check   # assert >=3x
+
+Full size is B=32 schedules, n=16 qubits, p=4 layers; ``--check`` fails the
+run unless the ``python`` backend's fused path is at least 3x faster than the
+looped default (the acceptance bar for the fused engine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro
+except ImportError:  # running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+from repro.fur.base import QAOAFastSimulatorBase
+from repro.problems import labs
+
+#: Required fused-vs-looped advantage on the ``python`` backend (--check).
+REQUIRED_PYTHON_SPEEDUP = 3.0
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_backend(backend: str, terms, n: int, batch: int, p: int,
+                  repeats: int, rng: np.random.Generator) -> dict:
+    """Time fused vs looped ``get_expectation_batch`` for one backend."""
+    sim = repro.simulator(n, terms=terms, backend=backend)
+    gammas = rng.uniform(0.0, 1.0, (batch, p))
+    betas = rng.uniform(0.0, 1.0, (batch, p))
+
+    fused_values = sim.get_expectation_batch(gammas, betas)  # warm-up + result
+    looped_values = QAOAFastSimulatorBase.get_expectation_batch(sim, gammas, betas)
+    np.testing.assert_allclose(fused_values, looped_values, rtol=1e-10)
+
+    fused = _best_of(lambda: sim.get_expectation_batch(gammas, betas), repeats)
+    looped = _best_of(
+        lambda: QAOAFastSimulatorBase.get_expectation_batch(sim, gammas, betas),
+        repeats)
+    record = {
+        "backend": backend,
+        "fused_s": fused,
+        "looped_s": looped,
+        "speedup": looped / fused,
+    }
+    if backend == "gpu":
+        record["modeled_device_s"] = sim.modeled_device_time()
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized problem (exercises the fused path only)")
+    parser.add_argument("--check", action="store_true",
+                        help=f"exit non-zero unless the python backend speedup is "
+                             f">= {REQUIRED_PYTHON_SPEEDUP}x")
+    parser.add_argument("--backends", nargs="+", default=["python", "c", "gpu"],
+                        help="backends to benchmark")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n, batch, p, repeats = 10, 6, 2, 1
+    else:
+        n, batch, p, repeats = 16, 32, 4, 2
+    terms = labs.get_terms(n)
+    rng = np.random.default_rng(42)
+
+    print(f"Batched evaluation benchmark: LABS n={n}, B={batch}, p={p} "
+          f"({'smoke' if args.smoke else 'full'})")
+    print(f"{'backend':>8}  {'looped [s]':>11}  {'fused [s]':>11}  {'speedup':>8}")
+    results = []
+    for backend in args.backends:
+        rec = bench_backend(backend, terms, n, batch, p, repeats, rng)
+        results.append(rec)
+        extra = (f"  (modeled device {rec['modeled_device_s']:.3f} s)"
+                 if "modeled_device_s" in rec else "")
+        print(f"{rec['backend']:>8}  {rec['looped_s']:>11.3f}  {rec['fused_s']:>11.3f}  "
+              f"{rec['speedup']:>7.2f}x{extra}")
+
+    if args.check and not args.smoke:
+        python_recs = [r for r in results if r["backend"] == "python"]
+        if not python_recs:
+            print("--check requires the python backend in --backends", file=sys.stderr)
+            return 2
+        if python_recs[0]["speedup"] < REQUIRED_PYTHON_SPEEDUP:
+            print(f"FAIL: python fused speedup {python_recs[0]['speedup']:.2f}x "
+                  f"< required {REQUIRED_PYTHON_SPEEDUP}x", file=sys.stderr)
+            return 1
+        print(f"OK: python fused speedup >= {REQUIRED_PYTHON_SPEEDUP}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

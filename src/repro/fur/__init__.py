@@ -23,7 +23,13 @@ from __future__ import annotations
 
 import warnings
 
-from .base import QAOAFastSimulatorBase, dicke_state, uniform_superposition
+from .base import (
+    DEFAULT_BATCH_MEMORY_BUDGET,
+    QAOAFastSimulatorBase,
+    batch_block_rows,
+    dicke_state,
+    uniform_superposition,
+)
 from .cache import (
     DiagonalCache,
     cached_cost_diagonal,
@@ -32,6 +38,8 @@ from .cache import (
 )
 from .diagonal import (
     CompressedDiagonal,
+    DiagonalPhaseTable,
+    build_phase_table,
     compress_diagonal,
     diagonal_memory_bytes,
     diagonal_memory_overhead,
@@ -64,8 +72,12 @@ __all__ = [
     "QAOAFastSimulatorBase",
     "uniform_superposition",
     "dicke_state",
+    "batch_block_rows",
+    "DEFAULT_BATCH_MEMORY_BUDGET",
     "CompressedDiagonal",
     "compress_diagonal",
+    "DiagonalPhaseTable",
+    "build_phase_table",
     "precompute_cost_diagonal",
     "precompute_cost_diagonal_slice",
     "precompute_cost_diagonal_from_function",

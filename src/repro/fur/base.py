@@ -30,15 +30,45 @@ import numpy as np
 
 from ..problems.terms import Term, validate_terms
 from .cache import cached_cost_diagonal
-from .diagonal import CompressedDiagonal
+from .diagonal import CompressedDiagonal, DiagonalPhaseTable, build_phase_table
 
 __all__ = [
     "QAOAFastSimulatorBase",
+    "FusedBatchEngineMixin",
     "uniform_superposition",
     "dicke_state",
     "validate_angles",
     "validate_angle_batches",
+    "batch_block_rows",
+    "DEFAULT_BATCH_MEMORY_BUDGET",
 ]
+
+#: Default memory budget (bytes) for the fused batch engines: the scratch a
+#: backend may spend on ``(B, 2^n)`` state blocks per sub-batch.  Larger
+#: batches are transparently split into sub-batches that fit the budget.
+DEFAULT_BATCH_MEMORY_BUDGET: int = 1 << 28  # 256 MiB
+
+
+def batch_block_rows(batch_size: int, n_states: int,
+                     memory_budget: float | None = None, *,
+                     blocks: int = 2) -> int:
+    """Rows of a ``(B, 2^n)`` complex block that fit the fused-batch budget.
+
+    ``blocks`` is the number of full-width complex128 blocks the engine
+    materializes simultaneously (e.g. 2 for a state block plus a ping-pong
+    scratch).  Always returns at least 1 — a single schedule must be
+    simulable regardless of the budget — and never more than ``batch_size``.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if blocks <= 0:
+        raise ValueError("blocks must be positive")
+    budget = DEFAULT_BATCH_MEMORY_BUDGET if memory_budget is None else float(memory_budget)
+    if budget <= 0:
+        raise ValueError("memory_budget must be positive")
+    bytes_per_row = 16 * n_states * blocks
+    rows = int(budget // bytes_per_row)
+    return max(1, min(int(batch_size), rows))
 
 
 def uniform_superposition(n_qubits: int, dtype: np.dtype | type = np.complex128) -> np.ndarray:
@@ -147,6 +177,11 @@ class QAOAFastSimulatorBase(abc.ABC):
             raise ValueError("provide exactly one of `terms` or `costs`")
         self._n_qubits = int(n_qubits)
         self._n_states = 1 << self._n_qubits
+        #: resolved float64 default diagonal, cached so deep circuits and
+        #: batched evaluation never decompress/validate per layer or element
+        self._costs_cache: np.ndarray | None = None
+        self._phase_table_cache: DiagonalPhaseTable | None = None
+        self._phase_table_built = False
         self._terms: list[Term] | None = None
         if terms is not None:
             self._terms = validate_terms(terms, self._n_qubits)
@@ -213,6 +248,30 @@ class QAOAFastSimulatorBase(abc.ABC):
             return self._hamiltonian_host.decompress()
         return np.asarray(self._hamiltonian_host)
 
+    def _default_costs(self) -> np.ndarray:
+        """The resolved float64 default diagonal, decompressed at most once.
+
+        For a :class:`~repro.fur.diagonal.CompressedDiagonal` problem,
+        :meth:`get_cost_diagonal` reconstructs the full 2^n float vector on
+        every call; the hot paths (one phase application per layer, one
+        objective reduction per evaluation) go through this cache instead so
+        a depth-1000 simulation pays for exactly one decompression.
+        """
+        if self._costs_cache is None:
+            self._costs_cache = self.get_cost_diagonal()
+        return self._costs_cache
+
+    def _diagonal_phase_table(self) -> DiagonalPhaseTable | None:
+        """Unique-value phase table for the default diagonal (lazy, cached).
+
+        Built on first use by the fused batch engines; ``None`` when the
+        diagonal has too many distinct values for the gather to pay off.
+        """
+        if not self._phase_table_built:
+            self._phase_table_cache = build_phase_table(self._default_costs())
+            self._phase_table_built = True
+        return self._phase_table_cache
+
     # -- simulation ----------------------------------------------------------
     @abc.abstractmethod
     def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
@@ -224,7 +283,8 @@ class QAOAFastSimulatorBase(abc.ABC):
 
     def simulate_qaoa_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
                             betas_batch: Sequence[Sequence[float]] | np.ndarray,
-                            sv0: np.ndarray | None = None,
+                            sv0: np.ndarray | None = None, *,
+                            memory_budget: float | None = None,
                             **kwargs: Any) -> list[Any]:
         """Simulate a batch of (γ, β) schedules over the same problem.
 
@@ -233,9 +293,16 @@ class QAOAFastSimulatorBase(abc.ABC):
         implementation loops over :meth:`simulate_qaoa` — the win is that the
         precomputed diagonal, workspaces and device buffers are shared across
         the whole batch, which is the access pattern of population-based
-        optimizers and parameter grid scans.  Backends may override with a
-        fused implementation.
+        optimizers and parameter grid scans.
+
+        The ``python``, ``c`` and ``gpu`` backends override this with a fused
+        engine that evolves a ``(B, 2^n)`` state block through all layers at
+        once; ``memory_budget`` (bytes, default
+        :data:`DEFAULT_BATCH_MEMORY_BUDGET`) bounds the block scratch by
+        splitting large batches into sub-batches.  The default loop never
+        materializes a block, so it accepts and ignores the budget.
         """
+        del memory_budget  # the looped default holds one state at a time
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         return [self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
                 for gi, bi in zip(g, b)]
@@ -243,17 +310,21 @@ class QAOAFastSimulatorBase(abc.ABC):
     def get_expectation_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
                               betas_batch: Sequence[Sequence[float]] | np.ndarray,
                               costs: np.ndarray | CompressedDiagonal | None = None,
-                              sv0: np.ndarray | None = None,
+                              sv0: np.ndarray | None = None, *,
+                              memory_budget: float | None = None,
                               **kwargs: Any) -> np.ndarray:
         """Objective values for a batch of schedules, as a length-``B`` array.
 
-        Unlike :meth:`simulate_qaoa_batch` this never holds more than one
-        evolved state at a time: each schedule is simulated and immediately
-        reduced to ``<γβ|Ĉ|γβ>``, so the memory footprint is independent of
-        the batch size.
+        Unlike :meth:`simulate_qaoa_batch` this never keeps the evolved
+        states: each schedule is reduced to ``<γβ|Ĉ|γβ>`` immediately.  The
+        diagonal is resolved exactly once for the whole batch — resolving
+        per element would decompress/validate a 2^n vector ``B`` times.
+        Fused overrides honour ``memory_budget`` as in
+        :meth:`simulate_qaoa_batch`; the default loop ignores it.
         """
+        del memory_budget  # the looped default holds one state at a time
         g, b = validate_angle_batches(gammas_batch, betas_batch)
-        resolved = None if costs is None else self._resolve_costs(costs)
+        resolved = self._resolve_costs(costs)
         out = np.empty(g.shape[0], dtype=np.float64)
         for i, (gi, bi) in enumerate(zip(g, b)):
             result = self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
@@ -279,7 +350,7 @@ class QAOAFastSimulatorBase(abc.ABC):
     def _resolve_costs(self, costs: np.ndarray | CompressedDiagonal | None) -> np.ndarray:
         """Pick between a user-supplied diagonal and the precomputed one."""
         if costs is None:
-            return self.get_cost_diagonal()
+            return self._default_costs()
         if isinstance(costs, CompressedDiagonal):
             return costs.decompress()
         arr = np.asarray(costs, dtype=np.float64)
@@ -358,3 +429,100 @@ class QAOAFastSimulatorBase(abc.ABC):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{type(self).__name__}(n_qubits={self._n_qubits}, "
                 f"backend={self.backend_name!r}, mixer={self.mixer_name!r})")
+
+
+class FusedBatchEngineMixin:
+    """Shared sub-batching driver for backends with a fused batch engine.
+
+    Inherit *before* :class:`QAOAFastSimulatorBase` and implement
+
+    * ``_evolve_block(g_sub, b_sub, sv0, n_trotters)`` — evolve a
+      ``(rows, 2^n)`` sub-batch through all layers and return the backend's
+      block object;
+    * ``_block_expectations(block, resolved_costs)`` — reduce a block to one
+      objective value per row;
+
+    and optionally override ``_block_results`` (split a block into per-row
+    result objects; defaults to iterating the block) and ``_batch_rows``
+    (sub-batch sizing; called once per sub-batch with the *remaining*
+    schedule count, so backends whose results stay resident — e.g. device
+    arrays — can re-derive capacity as rows accumulate).
+
+    The mixin supplies the public ``simulate_qaoa_batch`` /
+    ``get_expectation_batch`` drivers: validation, single diagonal
+    resolution, memory-budget sub-batch splitting, and the drive loop.
+    """
+
+    #: whether the mixer consumes a ping-pong scratch block (set by the
+    #: gemm-grouped X mixers; XY mixers run in place through the workspace)
+    _mixer_needs_scratch: bool = False
+
+    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
+                      sv0: np.ndarray | None, n_trotters: int) -> Any:
+        raise NotImplementedError
+
+    def _block_expectations(self, block: Any, resolved: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _block_results(self, block: Any) -> list[Any]:
+        """Per-schedule result objects of an evolved block (default: rows)."""
+        return list(block)
+
+    def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
+        blocks = 2 if self._mixer_needs_scratch else 1
+        return batch_block_rows(remaining, self._n_states, memory_budget,
+                                blocks=blocks)
+
+    def simulate_qaoa_batch(self, gammas_batch, betas_batch,
+                            sv0: np.ndarray | None = None, *,
+                            n_trotters: int = 1,
+                            memory_budget: float | None = None,
+                            **kwargs: Any) -> list[Any]:
+        """Fused batch simulation: evolve ``(B, 2^n)`` state blocks.
+
+        Returns one backend result object per schedule.  ``memory_budget``
+        (bytes) bounds the block scratch — larger batches are transparently
+        split into sub-batches that fit.
+        """
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        results: list[Any] = []
+        r0 = 0
+        while r0 < g.shape[0]:
+            r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
+                     g.shape[0])
+            block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
+            results.extend(self._block_results(block))
+            r0 = r1
+        return results
+
+    def get_expectation_batch(self, gammas_batch, betas_batch,
+                              costs: np.ndarray | CompressedDiagonal | None = None,
+                              sv0: np.ndarray | None = None, *,
+                              n_trotters: int = 1,
+                              memory_budget: float | None = None,
+                              **kwargs: Any) -> np.ndarray:
+        """Fused batched objective: evolve a block, reduce every row at once.
+
+        The diagonal is resolved exactly once for the whole batch; evolved
+        blocks are discarded after their reduction, so peak memory follows
+        the budget, not the batch size.
+        """
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        resolved = self._resolve_costs(costs)
+        out = np.empty(g.shape[0], dtype=np.float64)
+        r0 = 0
+        while r0 < g.shape[0]:
+            r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
+                     g.shape[0])
+            block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
+            out[r0:r1] = self._block_expectations(block, resolved)
+            r0 = r1
+        return out

@@ -23,10 +23,15 @@ import numpy as np
 __all__ = [
     "KernelWorkspace",
     "apply_su2_blocked",
+    "apply_su2_batch_blocked",
     "furx_all_blocked",
+    "furx_all_batch_blocked",
     "furxy_blocked",
+    "furxy_batch_blocked",
     "apply_phase_inplace",
+    "apply_phase_batch_inplace",
     "expectation_inplace",
+    "expectation_batch_inplace",
     "probabilities_inplace",
     "DEFAULT_BLOCK_SIZE",
 ]
@@ -208,6 +213,131 @@ def apply_phase_inplace(statevector: np.ndarray, costs: np.ndarray, gamma: float
         np.exp(buf, out=buf)
         statevector[s:e] *= buf
     return statevector
+
+
+# ---------------------------------------------------------------------------
+# Batched blocked kernels — (B, 2^n) blocks through the same scratch buffers.
+# ---------------------------------------------------------------------------
+
+def _validate_block(svb: np.ndarray) -> tuple[int, int]:
+    if svb.ndim != 2:
+        raise ValueError(f"batched kernel expects a (B, 2^n) block, got shape {svb.shape}")
+    return svb.shape[0], svb.shape[1]
+
+
+def apply_su2_batch_blocked(svb: np.ndarray, a_rows: np.ndarray, b_rows: np.ndarray,
+                            qubit: int, workspace: KernelWorkspace) -> np.ndarray:
+    """Blocked batched SU(2): per-row rotations on one qubit of a state block.
+
+    ``a_rows``/``b_rows`` hold one rotation per row.  When a single row's
+    half-state exceeds the block size the rows are processed one at a time
+    through :func:`apply_su2_blocked` (sharing the workspace); otherwise rows
+    are chunked so each vectorized pair update touches at most
+    ``workspace.block_size`` amplitudes, with the per-row coefficients
+    broadcast along the state axes.
+    """
+    rows, n_states = _validate_block(svb)
+    stride = 1 << qubit
+    if qubit < 0 or stride * 2 > n_states:
+        raise ValueError(f"qubit {qubit} out of range for state vectors of length {n_states}")
+    a_arr = np.asarray(a_rows, dtype=np.complex128)
+    b_arr = np.asarray(b_rows, dtype=np.complex128)
+    if a_arr.shape != (rows,) or b_arr.shape != (rows,):
+        raise ValueError(f"coefficient batches must have shape ({rows},)")
+    half = n_states >> 1
+    if half >= workspace.block_size:
+        for r in range(rows):
+            apply_su2_blocked(svb[r], complex(a_arr[r]), complex(b_arr[r]),
+                              qubit, workspace)
+        return svb
+    view = svb.reshape(rows, -1, 2, stride)
+    rows_per = max(1, workspace.block_size // half)
+    for r0 in range(0, rows, rows_per):
+        r1 = min(r0 + rows_per, rows)
+        lo = view[r0:r1, :, 0, :]
+        hi = view[r0:r1, :, 1, :]
+        tmp = workspace.pair_scratch[: lo.size].reshape(lo.shape)
+        np.copyto(tmp, lo)
+        a_c = a_arr[r0:r1, None, None]
+        b_c = b_arr[r0:r1, None, None]
+        lo *= a_c
+        lo -= np.conj(b_c) * hi
+        hi *= np.conj(a_c)
+        hi += b_c * tmp
+    return svb
+
+
+def furx_all_batch_blocked(svb: np.ndarray, betas: np.ndarray, n_qubits: int,
+                           workspace: KernelWorkspace) -> np.ndarray:
+    """Blocked batched Algorithm 2: per-row ``exp(-i β_b Σ_i X_i)``, in place."""
+    rows, n_states = _validate_block(svb)
+    if n_states != (1 << n_qubits):
+        raise ValueError(
+            f"state vectors of length {n_states} do not match n={n_qubits}"
+        )
+    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
+    a_rows = np.cos(betas_arr).astype(np.complex128)
+    b_rows = (-1j * np.sin(betas_arr)).astype(np.complex128)
+    for q in range(n_qubits):
+        apply_su2_batch_blocked(svb, a_rows, b_rows, q, workspace)
+    return svb
+
+
+def furxy_batch_blocked(svb: np.ndarray, betas: np.ndarray, qubit_i: int, qubit_j: int,
+                        workspace: KernelWorkspace) -> np.ndarray:
+    """Blocked batched XY rotation: per-row angles, rows share the workspace."""
+    rows, _ = _validate_block(svb)
+    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
+    for r in range(rows):
+        furxy_blocked(svb[r], float(betas_arr[r]), qubit_i, qubit_j, workspace)
+    return svb
+
+
+def apply_phase_batch_inplace(svb: np.ndarray, costs: np.ndarray, gammas: np.ndarray,
+                              workspace: KernelWorkspace,
+                              phase_table=None) -> np.ndarray:
+    """Batched phase operator ``svb[b, x] *= exp(-i γ_b c[x])``, zero-allocation.
+
+    With a :class:`~repro.fur.diagonal.DiagonalPhaseTable` the per-chunk phase
+    factors are gathered from one ``exp`` over the ``(B, U)`` distinct values;
+    otherwise the exponential is evaluated into the workspace scratch.  Chunks
+    iterate basis states in the outer loop so each cost/index chunk stays
+    cache-hot across all rows.
+    """
+    rows, n = _validate_block(svb)
+    if costs.shape[0] != n:
+        raise ValueError(f"cost vector length {costs.shape[0]} does not match state length {n}")
+    gammas_arr = np.broadcast_to(np.asarray(gammas, dtype=np.float64), (rows,))
+    chunk = workspace.block_size
+    if phase_table is not None:
+        factors = phase_table.factors_batch(gammas_arr)
+        inverse = phase_table.inverse
+        for s in range(0, n, chunk):
+            e = min(s + chunk, n)
+            buf = workspace.phase_scratch[: e - s]
+            idx = inverse[s:e]
+            for r in range(rows):
+                np.take(factors[r], idx, out=buf)
+                svb[r, s:e] *= buf
+        return svb
+    for s in range(0, n, chunk):
+        e = min(s + chunk, n)
+        buf = workspace.phase_scratch[: e - s]
+        for r in range(rows):
+            np.multiply(costs[s:e], -1j * gammas_arr[r], out=buf)
+            np.exp(buf, out=buf)
+            svb[r, s:e] *= buf
+    return svb
+
+
+def expectation_batch_inplace(svb: np.ndarray, costs: np.ndarray,
+                              workspace: KernelWorkspace) -> np.ndarray:
+    """Per-row blocked ``Σ_x c[x] |ψ_x|²`` of a state block."""
+    rows, _ = _validate_block(svb)
+    out = np.empty(rows, dtype=np.float64)
+    for r in range(rows):
+        out[r] = expectation_inplace(svb[r], costs, workspace)
+    return out
 
 
 def probabilities_inplace(statevector: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:

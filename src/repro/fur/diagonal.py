@@ -48,6 +48,8 @@ __all__ = [
     "apply_terms_to_slice",
     "CompressedDiagonal",
     "compress_diagonal",
+    "DiagonalPhaseTable",
+    "build_phase_table",
     "diagonal_memory_bytes",
     "diagonal_memory_overhead",
     "DEFAULT_CHUNK_SIZE",
@@ -250,8 +252,14 @@ class CompressedDiagonal:
         return int(self.values.shape[0])
 
     def decompress(self, dtype: np.dtype | type = np.float64) -> np.ndarray:
-        """Reconstruct the float cost vector."""
-        return (self.values.astype(dtype) * dtype(self.scale)) + dtype(self.shift)
+        """Reconstruct the float cost vector.
+
+        ``dtype`` may be a NumPy scalar type (``np.float32``) or a ``np.dtype``
+        instance (``np.dtype("float32")``) — dtype instances are not callable,
+        so the affine parameters go through ``np.dtype(dtype).type``.
+        """
+        scalar = np.dtype(dtype).type
+        return (self.values.astype(dtype) * scalar(self.scale)) + scalar(self.shift)
 
     def __getitem__(self, item) -> np.ndarray:
         """Decompressed access to a slice (used by phase-operator kernels)."""
@@ -295,6 +303,75 @@ def compress_diagonal(costs: np.ndarray, *, dtype: np.dtype | type = np.uint16,
         raise ValueError("cost values are not representable on an integer grid; "
                          "refusing lossy compression (pass a float dtype instead)")
     return CompressedDiagonal(values=quantized.astype(dtype), scale=float(scale), shift=shift)
+
+
+# ---------------------------------------------------------------------------
+# Phase tables — unique-value factorization of the phase operator.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DiagonalPhaseTable:
+    """Unique-value factorization of a cost diagonal for phase application.
+
+    Combinatorial cost diagonals take few distinct values (LABS sidelobe
+    energies and unweighted MaxCut sizes are small integers), so the phase
+    operator factors as ``exp(-i γ c[x]) = table[inverse[x]]`` with
+    ``table = exp(-i γ · unique_values)``.  One transcendental per *unique*
+    value plus a gather replaces one transcendental per *basis state* — the
+    dominant per-layer saving of the fused batch engine, where the same
+    diagonal is phased with many different ``γ`` values.
+    """
+
+    #: sorted distinct cost values, shape (U,)
+    unique_values: np.ndarray
+    #: index of each basis state's cost in ``unique_values``, shape (2^n,)
+    inverse: np.ndarray
+
+    @property
+    def n_unique(self) -> int:
+        """Number of distinct cost values U."""
+        return int(self.unique_values.shape[0])
+
+    def __len__(self) -> int:
+        return int(self.inverse.shape[0])
+
+    def factors(self, gamma: float) -> np.ndarray:
+        """The length-U table ``exp(-i γ · unique_values)``."""
+        return np.exp(self.unique_values * (-1j * float(gamma)))
+
+    def factors_batch(self, gammas: np.ndarray) -> np.ndarray:
+        """Per-schedule tables ``exp(-i γ_b · unique_values)``, shape (B, U)."""
+        g = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
+        return np.exp(np.outer(g, self.unique_values) * (-1j))
+
+    def phases(self, gamma: float, out: np.ndarray | None = None) -> np.ndarray:
+        """Full-length phase vector ``exp(-i γ c)`` via table gather."""
+        table = self.factors(gamma)
+        if out is None:
+            return table[self.inverse]
+        np.take(table, self.inverse, out=out)
+        return out
+
+
+def build_phase_table(costs: np.ndarray, *,
+                      max_unique_fraction: float = 0.125) -> DiagonalPhaseTable | None:
+    """Build a :class:`DiagonalPhaseTable` when the diagonal is repetitive enough.
+
+    Returns ``None`` when the distinct-value count exceeds
+    ``max_unique_fraction`` of the diagonal length — the gather would then
+    save nothing over evaluating ``exp`` directly (e.g. generic real-weighted
+    problems where almost every basis state has a distinct cost).
+    """
+    arr = np.asarray(costs, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("phase table requires a non-empty 1-D cost diagonal")
+    if not 0.0 < max_unique_fraction <= 1.0:
+        raise ValueError("max_unique_fraction must be in (0, 1]")
+    unique, inverse = np.unique(arr, return_inverse=True)
+    if unique.size > max(2, int(arr.size * max_unique_fraction)):
+        return None
+    return DiagonalPhaseTable(unique_values=unique,
+                              inverse=np.ascontiguousarray(inverse, dtype=np.intp))
 
 
 def diagonal_memory_bytes(n_qubits: int, dtype: np.dtype | type = np.float64) -> int:

@@ -24,11 +24,19 @@ import numpy as np
 
 __all__ = [
     "apply_su2",
+    "apply_su2_batch",
     "furx",
     "furx_all",
+    "furx_all_batch",
     "su2_x_rotation",
+    "su2_x_rotation_batch",
     "fwht_inplace",
 ]
+
+#: Qubits fused per gemm pass of the batched mixer (2^4 = 16-dim group
+#: unitaries keep the matmul arithmetic-intensity high without blowing up the
+#: 2^k per-group flop count).
+BATCH_GROUP_QUBITS: int = 4
 
 
 def su2_x_rotation(beta: float) -> tuple[complex, complex]:
@@ -95,6 +103,134 @@ def furx_all(statevector: np.ndarray, beta: float, n_qubits: int) -> np.ndarray:
     for q in range(n_qubits):
         apply_su2(statevector, a, b, q)
     return statevector
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels — one NumPy op covers a whole (B, 2^n) block of states.
+# ---------------------------------------------------------------------------
+
+def su2_x_rotation_batch(betas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-schedule SU(2) parameters ``(a_b, b_b)`` of ``exp(-i β_b X)``."""
+    b_arr = np.asarray(betas, dtype=np.float64)
+    return (np.cos(b_arr).astype(np.complex128),
+            (-1j * np.sin(b_arr)).astype(np.complex128))
+
+
+def _batch_coefficient(coeff: complex | np.ndarray, rows: int) -> complex | np.ndarray:
+    """Normalize an SU(2) coefficient to a scalar or (rows, 1, 1) broadcaster."""
+    arr = np.asarray(coeff, dtype=np.complex128)
+    if arr.ndim == 0:
+        return complex(arr)
+    if arr.shape != (rows,):
+        raise ValueError(f"coefficient batch has shape {arr.shape}, expected ({rows},)")
+    return arr.reshape(rows, 1, 1)
+
+
+def apply_su2_batch(block: np.ndarray, a: complex | np.ndarray,
+                    b: complex | np.ndarray, qubit: int) -> np.ndarray:
+    """Batched Algorithm 1: apply ``[[a, −b*], [b, a*]]`` to one qubit of every row.
+
+    ``block`` is a C-contiguous ``(B, 2^n)`` array (one state per row); the
+    reshape to ``(B, high, 2, stride)`` exposes all ``B`` amplitude-pair slabs
+    to a single vectorized update.  ``a`` and ``b`` may be scalars (same
+    rotation on every row) or length-``B`` arrays (one rotation per schedule,
+    broadcast along the state axes).
+    """
+    if block.ndim != 2:
+        raise ValueError(f"batched kernel expects a (B, 2^n) block, got shape {block.shape}")
+    rows, n_states = block.shape
+    stride = 1 << qubit
+    if qubit < 0 or stride * 2 > n_states:
+        raise ValueError(f"qubit {qubit} out of range for state vectors of length {n_states}")
+    view = block.reshape(rows, -1, 2, stride)
+    lo = view[:, :, 0, :]
+    hi = view[:, :, 1, :]
+    a_c = _batch_coefficient(a, rows)
+    b_c = _batch_coefficient(b, rows)
+    tmp = lo.copy()
+    lo *= a_c
+    lo -= np.conjugate(b_c) * hi
+    hi *= np.conjugate(a_c)
+    hi += b_c * tmp
+    return block
+
+
+def _su2_batch_matrices(betas: np.ndarray) -> np.ndarray:
+    """Stacked single-qubit mixers ``exp(-i β_b X)``, shape (B, 2, 2)."""
+    a, b = su2_x_rotation_batch(betas)
+    u = np.empty((a.shape[0], 2, 2), dtype=np.complex128)
+    u[:, 0, 0] = a
+    u[:, 1, 1] = a
+    u[:, 0, 1] = b
+    u[:, 1, 0] = b
+    return u
+
+
+def _group_kron(u: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise ``u ⊗ … ⊗ u`` (k factors), shape (B, 2^k, 2^k).
+
+    All factors are equal, so the qubit-ordering of the Kronecker product is
+    irrelevant; the result is the group unitary on ``k`` adjacent qubits.
+    """
+    out = u
+    for _ in range(k - 1):
+        d = out.shape[1]
+        out = (out[:, :, None, :, None] * u[:, None, :, None, :]).reshape(-1, 2 * d, 2 * d)
+    return out
+
+
+def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
+                   group_size: int = BATCH_GROUP_QUBITS,
+                   scratch: np.ndarray | None = None) -> np.ndarray:
+    """Batched Algorithm 2: ``exp(-i β_b Σ_i X_i)`` on every row of a block.
+
+    Instead of 2×2 pair updates (one memory sweep per qubit), qubits are fused
+    into groups of ``group_size``: each pass contracts a ``(2^k, 2^k)``
+    per-row group unitary against the block via one stacked ``matmul``, which
+    cuts the number of full-block memory sweeps by ``group_size`` and turns
+    the mixer into gemm work.  Passes ping-pong between ``block`` and
+    ``scratch``; the final result is always written back into ``block``
+    (modified in place and returned).
+
+    ``scratch`` must be a buffer with ``block``'s shape and dtype (allocated
+    here when omitted; callers evolving many layers should preallocate one).
+    """
+    if block.ndim != 2:
+        raise ValueError(f"batched kernel expects a (B, 2^n) block, got shape {block.shape}")
+    rows, n_states = block.shape
+    if n_states != (1 << n_qubits):
+        raise ValueError(
+            f"state vectors of length {n_states} do not match n={n_qubits}"
+        )
+    if group_size < 1:
+        raise ValueError("group_size must be at least 1")
+    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
+    u = _su2_batch_matrices(betas_arr)
+    if scratch is None:
+        scratch = np.empty_like(block)
+    elif scratch.shape != block.shape or scratch.dtype != block.dtype:
+        raise ValueError("scratch must match the block's shape and dtype")
+    src, dst = block, scratch
+    q = 0
+    while q < n_qubits:
+        k = min(group_size, n_qubits - q)
+        group_u = _group_kron(u, k)
+        dim = 1 << k
+        stride = 1 << q
+        groups = n_states // (dim * stride)
+        if stride == 1:
+            # Group axis is contiguous-last: one big (rows·groups, dim) gemm
+            # per row against U^T beats a degenerate stride-1 stacked matmul.
+            np.matmul(src.reshape(rows, groups, dim), group_u.transpose(0, 2, 1),
+                      out=dst.reshape(rows, groups, dim))
+        else:
+            np.matmul(group_u[:, None], src.reshape(rows, groups, dim, stride),
+                      out=dst.reshape(rows, groups, dim, stride))
+        src, dst = dst, src
+        q += k
+    if src is not block:
+        np.copyto(block, src)
+    return block
 
 
 def fwht_inplace(vector: np.ndarray) -> np.ndarray:

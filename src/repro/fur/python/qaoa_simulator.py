@@ -10,6 +10,16 @@ the constructor, via the base class), and each layer applies
 
 The three classes differ only in the mixer (transverse-field X, XY-ring,
 XY-complete), mirroring QOKit's simulator families.
+
+Batched evaluation (``simulate_qaoa_batch`` / ``get_expectation_batch``) is
+*fused*: a ``(B, 2^n)`` state block is evolved through all ``p`` layers at
+once — the phase operator broadcasts ``exp(-i γ_b c)`` across the batch
+(through the unique-value phase table when the diagonal is repetitive, and
+chunked over basis states otherwise, to bound temporaries), and the mixer
+kernels cover the whole block with one NumPy op per pass
+(:func:`~repro.fur.python.furx.furx_all_batch` and the batched XY kernels).
+Batches larger than the memory budget are transparently split into
+sub-batches.
 """
 
 from __future__ import annotations
@@ -19,9 +29,13 @@ from typing import Any
 
 import numpy as np
 
-from ..base import QAOAFastSimulatorBase, validate_angles
-from .furx import furx_all
-from .furxy import furxy_complete, furxy_ring
+from ..base import (
+    FusedBatchEngineMixin,
+    QAOAFastSimulatorBase,
+    validate_angles,
+)
+from .furx import furx_all, furx_all_batch
+from .furxy import furxy_complete, furxy_complete_batch, furxy_ring, furxy_ring_batch
 
 __all__ = [
     "QAOAFURXSimulator",
@@ -29,8 +43,12 @@ __all__ = [
     "QAOAFURXYCompleteSimulator",
 ]
 
+#: Bound on the number of complex temporaries (elements) materialized per
+#: chunk by the direct-exponential batched phase fallback.
+_BATCH_PHASE_CHUNK: int = 1 << 20
 
-class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
+
+class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
     """Shared host-NumPy simulation loop; subclasses supply the mixer."""
 
     backend_name = "python"
@@ -38,10 +56,18 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         raise NotImplementedError
 
+    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        raise NotImplementedError
+
     def _apply_phase(self, sv: np.ndarray, gamma: float) -> None:
-        """Phase operator: ``sv[x] *= exp(-i γ c[x])`` (Algorithm 3, line 4)."""
-        costs = self.get_cost_diagonal()
-        sv *= np.exp(costs * (-1j * gamma))
+        """Phase operator: ``sv[x] *= exp(-i γ c[x])`` (Algorithm 3, line 4).
+
+        Uses the per-simulator resolved-diagonal cache: for a
+        :class:`~repro.fur.diagonal.CompressedDiagonal` problem the 2^n float
+        vector is decompressed exactly once, not once per layer.
+        """
+        sv *= np.exp(self._default_costs() * (-1j * gamma))
 
     def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
                       sv0: np.ndarray | None = None, *, n_trotters: int = 1,
@@ -75,6 +101,53 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
+    # -- fused batched evaluation --------------------------------------------
+    def _apply_phase_block(self, block: np.ndarray, gammas_layer: np.ndarray,
+                           phase_buf: np.ndarray) -> None:
+        """Vectorized phase operator on a ``(rows, 2^n)`` block.
+
+        ``exp(-i γ_b c)`` is broadcast across the batch: when the diagonal's
+        unique-value phase table applies, one ``exp`` over the ``(rows, U)``
+        distinct values plus per-row gathers (into the preallocated
+        ``phase_buf``) replaces ``rows · 2^n`` transcendentals; otherwise the
+        exponential is evaluated directly, chunked over basis states so the
+        ``(rows, chunk)`` temporaries stay bounded.
+        """
+        table = self._diagonal_phase_table()
+        rows, n = block.shape
+        if table is not None:
+            factors = table.factors_batch(gammas_layer)
+            for r in range(rows):
+                np.take(factors[r], table.inverse, out=phase_buf)
+                block[r] *= phase_buf
+            return
+        costs = self._default_costs()
+        coeff = -1j * gammas_layer
+        cols = max(1, _BATCH_PHASE_CHUNK // rows)
+        for s in range(0, n, cols):
+            e = min(s + cols, n)
+            block[:, s:e] *= np.exp(coeff[:, None] * costs[s:e][None, :])
+
+    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
+                      sv0: np.ndarray | None, n_trotters: int) -> np.ndarray:
+        """Evolve a ``(rows, 2^n)`` block through all ``p`` layers.
+
+        The ping-pong scratch block is only materialized for mixers that use
+        it (the gemm-grouped X mixer); XY mixers run in place.
+        """
+        rows = g_sub.shape[0]
+        sv = self._validate_sv0(sv0)
+        block = np.repeat(sv[None, :], rows, axis=0)
+        scratch = np.empty_like(block) if self._mixer_needs_scratch else None
+        phase_buf = np.empty(self._n_states, dtype=np.complex128)
+        for layer in range(g_sub.shape[1]):
+            self._apply_phase_block(block, g_sub[:, layer], phase_buf)
+            self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
+        return block
+
+    def _block_expectations(self, block: np.ndarray, resolved: np.ndarray) -> np.ndarray:
+        return _block_expectations(block, resolved)
+
     # -- output methods ------------------------------------------------------
     def get_statevector(self, result: np.ndarray, **kwargs: Any) -> np.ndarray:
         """Return the evolved state vector (host array)."""
@@ -86,19 +159,41 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
         sv = np.asarray(result)
         if preserve_state:
             return np.abs(sv) ** 2
-        # In-place variant: reuse the state-vector buffer's real view.
+        # In-place variant: square magnitudes into the state-vector buffer,
+        # then return a contiguous float64 array — a strided ``.real`` view
+        # of the complex buffer would halve the throughput of every
+        # downstream reduction (and surprise callers expecting a plain
+        # probability vector).
         np.multiply(sv, np.conj(sv), out=sv)
-        return sv.real
+        return np.ascontiguousarray(sv.real)
+
+
+def _block_expectations(block: np.ndarray, costs: np.ndarray,
+                        chunk: int = _BATCH_PHASE_CHUNK) -> np.ndarray:
+    """Per-row ``Σ_x c[x] |ψ_x|²`` of a block, chunked over basis states."""
+    rows, n = block.shape
+    cols = max(1, chunk // max(rows, 1))
+    out = np.zeros(rows, dtype=np.float64)
+    for s in range(0, n, cols):
+        e = min(s + cols, n)
+        blk = block[:, s:e]
+        out += (blk.real ** 2 + blk.imag ** 2) @ costs[s:e]
+    return out
 
 
 class QAOAFURXSimulator(_QAOAFURPythonSimulatorBase):
     """QAOA with the transverse-field mixer ``exp(-i β Σ_i X_i)`` (NumPy)."""
 
     mixer_name = "x"
+    _mixer_needs_scratch = True
 
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         # The X-mixer factors commute, so Trotterization is exact and unused.
         furx_all(sv, beta, self._n_qubits)
+
+    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        furx_all_batch(block, betas, self._n_qubits, scratch=scratch)
 
 
 class QAOAFURXYRingSimulator(_QAOAFURPythonSimulatorBase):
@@ -110,6 +205,11 @@ class QAOAFURXYRingSimulator(_QAOAFURPythonSimulatorBase):
         for _ in range(n_trotters):
             furxy_ring(sv, beta / n_trotters, self._n_qubits)
 
+    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        for _ in range(n_trotters):
+            furxy_ring_batch(block, betas / n_trotters, self._n_qubits)
+
 
 class QAOAFURXYCompleteSimulator(_QAOAFURPythonSimulatorBase):
     """QAOA with the complete-graph XY mixer (Hamming-weight preserving, NumPy)."""
@@ -119,3 +219,8 @@ class QAOAFURXYCompleteSimulator(_QAOAFURPythonSimulatorBase):
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         for _ in range(n_trotters):
             furxy_complete(sv, beta / n_trotters, self._n_qubits)
+
+    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        for _ in range(n_trotters):
+            furxy_complete_batch(block, betas / n_trotters, self._n_qubits)

@@ -14,8 +14,11 @@ import numpy as np
 
 from ..cvect.kernels import (
     KernelWorkspace,
+    apply_phase_batch_inplace,
     apply_phase_inplace,
     apply_su2_blocked,
+    expectation_batch_inplace,
+    furxy_batch_blocked,
     furxy_blocked,
 )
 from ..diagonal import apply_terms_to_slice
@@ -23,13 +26,19 @@ from .device import DeviceArray
 
 __all__ = [
     "device_furx_all",
+    "device_furx_all_batch",
     "device_furxy_ring",
+    "device_furxy_ring_batch",
     "device_furxy_complete",
+    "device_furxy_complete_batch",
     "device_apply_phase",
+    "device_apply_phase_batch",
     "device_precompute_diagonal",
     "device_probabilities",
     "device_expectation",
+    "device_expectation_batch",
     "device_overlap",
+    "device_split_rows",
 ]
 
 
@@ -123,6 +132,90 @@ def device_expectation(sv: DeviceArray, costs: DeviceArray,
     value = expectation_inplace(sv.data, np.asarray(costs.data, dtype=np.float64), workspace)
     sv.device.charge_kernel(sv.nbytes + costs.nbytes)
     return value
+
+
+# ---------------------------------------------------------------------------
+# Device-block batch kernels — a (B, 2^n) block resident on the device.
+# ---------------------------------------------------------------------------
+
+def device_apply_phase_batch(svb: DeviceArray, costs: DeviceArray, gammas: np.ndarray,
+                             workspace: KernelWorkspace, phase_table=None) -> DeviceArray:
+    """Batched phase kernel: one diagonal read shared by every block row."""
+    _check_device_pair(svb, costs)
+    apply_phase_batch_inplace(svb.data, np.asarray(costs.data, dtype=np.float64),
+                              gammas, workspace, phase_table=phase_table)
+    svb.device.charge_kernel(2 * svb.nbytes + costs.nbytes)
+    return svb
+
+
+def device_furx_all_batch(svb: DeviceArray, betas: np.ndarray, n_qubits: int,
+                          workspace: KernelWorkspace,
+                          scratch: np.ndarray | None = None) -> DeviceArray:
+    """Batched transverse-field mixer: n kernels, each streaming the block.
+
+    Numerics run through the gemm-grouped host kernel (identical results,
+    much faster host wall-clock); callers evolving many layers should pass a
+    preallocated ``scratch`` block for its ping-pong buffer.  The modeled
+    device time still charges the real CUDA kernel's traffic — one
+    read-modify-write of the block per qubit.
+    """
+    from ..python.furx import furx_all_batch
+
+    furx_all_batch(svb.data, betas, n_qubits, scratch=scratch)
+    svb.device.charge_kernel(2 * svb.nbytes * n_qubits, launches=n_qubits)
+    return svb
+
+
+def device_furxy_ring_batch(svb: DeviceArray, betas: np.ndarray, n_qubits: int,
+                            workspace: KernelWorkspace) -> DeviceArray:
+    """Batched ring XY mixer (one kernel per edge over the block)."""
+    from ..python.furxy import ring_edges
+
+    edges = ring_edges(n_qubits)
+    for i, j in edges:
+        furxy_batch_blocked(svb.data, betas, i, j, workspace)
+    svb.device.charge_kernel(svb.nbytes * len(edges), launches=len(edges))
+    return svb
+
+
+def device_furxy_complete_batch(svb: DeviceArray, betas: np.ndarray, n_qubits: int,
+                                workspace: KernelWorkspace) -> DeviceArray:
+    """Batched complete-graph XY mixer over the block."""
+    from ..python.furxy import complete_edges
+
+    edges = complete_edges(n_qubits)
+    for i, j in edges:
+        furxy_batch_blocked(svb.data, betas, i, j, workspace)
+    svb.device.charge_kernel(svb.nbytes * len(edges), launches=len(edges))
+    return svb
+
+
+def device_expectation_batch(svb: DeviceArray, costs: DeviceArray,
+                             workspace: KernelWorkspace) -> np.ndarray:
+    """Per-row expectation reduction over a device block (host scalars out)."""
+    _check_device_pair(svb, costs)
+    values = expectation_batch_inplace(svb.data, np.asarray(costs.data, dtype=np.float64),
+                                       workspace)
+    svb.device.charge_kernel(svb.nbytes + costs.nbytes)
+    return values
+
+
+def device_split_rows(svb: DeviceArray) -> list[DeviceArray]:
+    """Split a device block into per-row device arrays and free the block.
+
+    One device-to-device copy kernel per row; the block allocation is
+    released afterwards, so peak device memory is (block + rows) during the
+    split and (rows) after it.
+    """
+    device = svb.device
+    rows: list[DeviceArray] = []
+    for r in range(svb.data.shape[0]):
+        row = device.empty(svb.data.shape[1], dtype=svb.dtype)
+        np.copyto(row.data, svb.data[r])
+        device.charge_kernel(2 * row.nbytes)
+        rows.append(row)
+    svb.free()
+    return rows
 
 
 def device_overlap(sv: DeviceArray, indices: np.ndarray) -> float:

@@ -16,19 +16,31 @@ from typing import Any
 
 import numpy as np
 
-from ..base import QAOAFastSimulatorBase, validate_angles
+from ..base import (
+    FusedBatchEngineMixin,
+    QAOAFastSimulatorBase,
+    batch_block_rows,
+    validate_angle_batches,
+    validate_angles,
+)
 from ..cvect.kernels import DEFAULT_BLOCK_SIZE, KernelWorkspace
-from ..diagonal import term_masks_and_weights
+from ..diagonal import CompressedDiagonal, term_masks_and_weights
 from .device import A100_80GB, DeviceArray, DeviceSpec, SimulatedDevice
 from .kernels import (
     device_apply_phase,
+    device_apply_phase_batch,
     device_expectation,
+    device_expectation_batch,
     device_furx_all,
+    device_furx_all_batch,
     device_furxy_complete,
+    device_furxy_complete_batch,
     device_furxy_ring,
+    device_furxy_ring_batch,
     device_overlap,
     device_precompute_diagonal,
     device_probabilities,
+    device_split_rows,
 )
 
 __all__ = [
@@ -38,7 +50,7 @@ __all__ = [
 ]
 
 
-class _QAOAFURGPUSimulatorBase(QAOAFastSimulatorBase):
+class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
     """Shared device-resident simulation loop; subclasses supply the mixer."""
 
     backend_name = "gpu"
@@ -103,6 +115,89 @@ class _QAOAFURGPUSimulatorBase(QAOAFastSimulatorBase):
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
+    # -- fused batched evaluation (device-block variant) -----------------------------
+    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        raise NotImplementedError
+
+    def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
+        """Sub-batch rows bounded by both the host budget and device memory.
+
+        Called once per sub-batch: :func:`device_split_rows` keeps earlier
+        sub-batches' per-row results resident, so the free-memory estimate
+        must be re-derived as rows accumulate.  A row costs two state vectors
+        while its block and split results coexist; at least one row is always
+        attempted (the device allocator raises :class:`MemoryError` if it
+        truly cannot fit).
+        """
+        rows = batch_block_rows(remaining, self._n_states, memory_budget, blocks=2)
+        free = (self._device.spec.memory_capacity
+                - self._device.stats.allocated_bytes)
+        per_row = 2 * 16 * self._n_states
+        device_rows = int(free // per_row)
+        return max(1, min(rows, device_rows))
+
+    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
+                      sv0: np.ndarray | None, n_trotters: int) -> DeviceArray:
+        """Upload a ``(rows, 2^n)`` block and evolve it with device kernels.
+
+        Returns one device result array per schedule via the mixin driver
+        (:func:`device_split_rows` frees the block after splitting); the
+        gemm-grouped X mixer's ping-pong scratch is allocated once per
+        sub-batch.
+        """
+        rows = g_sub.shape[0]
+        sv = self._validate_sv0(sv0)
+        block = self._device.to_device(np.repeat(sv[None, :], rows, axis=0))
+        scratch = np.empty_like(block.data) if self._mixer_needs_scratch else None
+        table = self._diagonal_phase_table()
+        for layer in range(g_sub.shape[1]):
+            device_apply_phase_batch(block, self._costs_device, g_sub[:, layer],
+                                     self._workspace, phase_table=table)
+            self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
+        return block
+
+    def _block_results(self, block: DeviceArray) -> list[DeviceArray]:
+        return device_split_rows(block)
+
+    def get_expectation_batch(self, gammas_batch, betas_batch,
+                              costs: np.ndarray | CompressedDiagonal | None = None,
+                              sv0: np.ndarray | None = None, *,
+                              n_trotters: int = 1,
+                              memory_budget: float | None = None,
+                              **kwargs: Any) -> np.ndarray:
+        """Batched objective via device-side reductions; blocks freed per sub-batch.
+
+        Overrides the mixin driver because the diagonal must live on the
+        device (a user-supplied ``costs`` is staged transiently) and blocks
+        need explicit freeing.
+        """
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        if costs is None:
+            costs_dev, transient = self._costs_device, False
+        else:
+            costs_dev, transient = self._device.to_device(self._resolve_costs(costs)), True
+        out = np.empty(g.shape[0], dtype=np.float64)
+        try:
+            r0 = 0
+            while r0 < g.shape[0]:
+                r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
+                         g.shape[0])
+                block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
+                try:
+                    out[r0:r1] = device_expectation_batch(block, costs_dev, self._workspace)
+                finally:
+                    block.free()
+                r0 = r1
+        finally:
+            if transient:
+                costs_dev.free()
+        return out
+
     # -- output methods (always host values) ------------------------------------------
     def get_statevector(self, result: DeviceArray, **kwargs: Any) -> np.ndarray:
         """Device→host copy of the evolved state."""
@@ -144,9 +239,15 @@ class QAOAFURXSimulatorGPU(_QAOAFURGPUSimulatorBase):
     """QAOA with the transverse-field mixer on the simulated GPU."""
 
     mixer_name = "x"
+    _mixer_needs_scratch = True
 
     def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
         device_furx_all(sv, beta, self._n_qubits, self._workspace)
+
+    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        device_furx_all_batch(svb, betas, self._n_qubits, self._workspace,
+                              scratch=scratch)
 
 
 class QAOAFURXYRingSimulatorGPU(_QAOAFURGPUSimulatorBase):
@@ -158,6 +259,12 @@ class QAOAFURXYRingSimulatorGPU(_QAOAFURGPUSimulatorBase):
         for _ in range(n_trotters):
             device_furxy_ring(sv, beta / n_trotters, self._n_qubits, self._workspace)
 
+    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        for _ in range(n_trotters):
+            device_furxy_ring_batch(svb, betas / n_trotters, self._n_qubits,
+                                    self._workspace)
+
 
 class QAOAFURXYCompleteSimulatorGPU(_QAOAFURGPUSimulatorBase):
     """QAOA with the complete-graph XY mixer on the simulated GPU."""
@@ -167,3 +274,9 @@ class QAOAFURXYCompleteSimulatorGPU(_QAOAFURGPUSimulatorBase):
     def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
         for _ in range(n_trotters):
             device_furxy_complete(sv, beta / n_trotters, self._n_qubits, self._workspace)
+
+    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+                           n_trotters: int, scratch: np.ndarray | None) -> None:
+        for _ in range(n_trotters):
+            device_furxy_complete_batch(svb, betas / n_trotters, self._n_qubits,
+                                        self._workspace)

@@ -2,8 +2,11 @@
 
 from .objective import QAOAObjective, get_qaoa_objective, make_simulator
 from .optimization import (
+    GridScanResult,
     OptimizationResult,
+    grid_scan_qaoa,
     minimize_qaoa,
+    population_optimize,
     progressive_depth_optimization,
 )
 from .parameters import (
@@ -22,8 +25,11 @@ __all__ = [
     "get_qaoa_objective",
     "make_simulator",
     "OptimizationResult",
+    "GridScanResult",
     "minimize_qaoa",
     "progressive_depth_optimization",
+    "grid_scan_qaoa",
+    "population_optimize",
     "linear_ramp_parameters",
     "tqa_initialization",
     "random_initialization",

@@ -57,6 +57,9 @@ class QAOAObjective:
     objective: str = "expectation"
     sv0: np.ndarray | None = None
     simulate_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: memory budget (bytes) handed to the fused batch engines; ``None`` uses
+    #: the backend default (larger batches are split into sub-batches)
+    batch_memory_budget: float | None = None
     #: running statistics
     n_evaluations: int = 0
     best_value: float = np.inf
@@ -93,10 +96,15 @@ class QAOAObjective:
 
         ``thetas`` is ``(B, 2p)`` shaped (a single vector is promoted to a
         batch of one); the returned array holds one objective value per row.
-        Routes through the simulator's batched API so precomputed data is
-        shared across the whole batch, and keeps the usual bookkeeping
-        (evaluation count, history, best-seen) per row.  This is the natural
-        entry point for population-based optimizers and parameter grid scans.
+        Routes through the simulator's batched API — the ``python``, ``c``
+        and ``gpu`` backends implement it as a fused engine evolving a
+        ``(B, 2^n)`` state block through all layers at once, splitting
+        batches that exceed :attr:`batch_memory_budget` into sub-batches —
+        and keeps the usual bookkeeping (evaluation count, history,
+        best-seen) per row.  This is the natural entry point for
+        population-based optimizers and parameter grid scans
+        (:func:`repro.qaoa.grid_scan_qaoa`,
+        :func:`repro.qaoa.population_optimize`).
         """
         arr = np.atleast_2d(np.asarray(thetas, dtype=np.float64))
         if arr.ndim != 2:
@@ -111,7 +119,8 @@ class QAOAObjective:
         gammas_batch, betas_batch = arr[:, :self.p], arr[:, self.p:]
         if self.objective == "expectation":
             values = self.simulator.get_expectation_batch(
-                gammas_batch, betas_batch, sv0=self.sv0, **self.simulate_kwargs)
+                gammas_batch, betas_batch, sv0=self.sv0,
+                memory_budget=self.batch_memory_budget, **self.simulate_kwargs)
         else:
             # One simulate+reduce per row: never holds more than one evolved
             # state, so memory stays independent of the batch size.
@@ -154,6 +163,7 @@ def get_qaoa_objective(n_qubits: int, p: int,
                        mixer: str = "x", objective: str = "expectation",
                        sv0: np.ndarray | None = None,
                        simulate_kwargs: dict[str, Any] | None = None,
+                       batch_memory_budget: float | None = None,
                        **simulator_kwargs: Any) -> QAOAObjective:
     """Build a :class:`QAOAObjective` for the given problem and backend.
 
@@ -168,4 +178,5 @@ def get_qaoa_objective(n_qubits: int, p: int,
     simulator = make_simulator(n_qubits, terms=terms, costs=costs,
                                backend=backend, mixer=mixer, **simulator_kwargs)
     return QAOAObjective(simulator=simulator, p=p, objective=objective, sv0=sv0,
-                         simulate_kwargs=dict(simulate_kwargs or {}))
+                         simulate_kwargs=dict(simulate_kwargs or {}),
+                         batch_memory_budget=batch_memory_budget)

@@ -20,7 +20,14 @@ from scipy import optimize as sciopt
 from .objective import QAOAObjective
 from .parameters import interp_extrapolate, linear_ramp_parameters, split_parameters, stack_parameters
 
-__all__ = ["OptimizationResult", "minimize_qaoa", "progressive_depth_optimization"]
+__all__ = [
+    "OptimizationResult",
+    "GridScanResult",
+    "minimize_qaoa",
+    "progressive_depth_optimization",
+    "grid_scan_qaoa",
+    "population_optimize",
+]
 
 #: Optimizers known to behave well on the low-dimensional, noisy-free QAOA
 #: landscape.  COBYLA is the default, matching common practice.
@@ -89,6 +96,112 @@ def minimize_qaoa(objective: QAOAObjective,
         method=method,
         history=list(objective.history),
         scipy_result=scipy_result,
+    )
+
+
+@dataclass
+class GridScanResult:
+    """Outcome of a batched (γ, β) landscape scan."""
+
+    gamma_values: np.ndarray
+    beta_values: np.ndarray
+    #: objective values, shape ``(len(gamma_values), len(beta_values))``
+    values: np.ndarray
+    best_gamma: float
+    best_beta: float
+    best_value: float
+    n_evaluations: int
+    wall_time: float
+
+
+def grid_scan_qaoa(objective: QAOAObjective,
+                   gamma_values: np.ndarray,
+                   beta_values: np.ndarray) -> GridScanResult:
+    """Exhaustive depth-1 (γ, β) landscape scan through the batch engine.
+
+    The classic QAOA heatmap (the paper's Fig. 2 workload shape): every
+    (γ, β) grid point is one objective evaluation over the *same* precomputed
+    diagonal.  The whole grid is evaluated in one
+    :meth:`~repro.qaoa.objective.QAOAObjective.evaluate_batch` call, so fused
+    backends evolve the grid in state blocks instead of one schedule at a
+    time (sub-batch splitting keeps memory bounded for dense grids).
+    """
+    if objective.p != 1:
+        raise ValueError(f"grid scan is defined for p=1 objectives, got p={objective.p}")
+    gv = np.atleast_1d(np.asarray(gamma_values, dtype=np.float64))
+    bv = np.atleast_1d(np.asarray(beta_values, dtype=np.float64))
+    if gv.ndim != 1 or bv.ndim != 1 or gv.size == 0 or bv.size == 0:
+        raise ValueError("gamma_values and beta_values must be non-empty 1-D grids")
+    thetas = np.column_stack([np.repeat(gv, bv.size), np.tile(bv, gv.size)])
+    objective.reset_statistics()
+    start = time.perf_counter()
+    values = objective.evaluate_batch(thetas).reshape(gv.size, bv.size)
+    wall = time.perf_counter() - start
+    gi, bi = np.unravel_index(int(np.argmin(values)), values.shape)
+    return GridScanResult(
+        gamma_values=gv,
+        beta_values=bv,
+        values=values,
+        best_gamma=float(gv[gi]),
+        best_beta=float(bv[bi]),
+        best_value=float(values[gi, bi]),
+        n_evaluations=objective.n_evaluations,
+        wall_time=wall,
+    )
+
+
+def population_optimize(objective: QAOAObjective, *,
+                        generations: int = 20,
+                        population_size: int = 32,
+                        elite_fraction: float = 0.25,
+                        sigma0: float = 0.3,
+                        sigma_floor: float = 0.01,
+                        seed: int | None = None) -> OptimizationResult:
+    """Population-based (cross-entropy) optimization over the batch engine.
+
+    Each generation samples ``population_size`` parameter vectors around the
+    current mean, evaluates them all in one batched call (the fused backends
+    evolve whole state blocks), and refits mean/spread to the elite fraction.
+    Starts from the linear-ramp schedule at the objective's depth; the spread
+    never collapses below ``sigma_floor`` so late generations keep exploring.
+    """
+    if generations <= 0 or population_size <= 0:
+        raise ValueError("generations and population_size must be positive")
+    if not 0.0 < elite_fraction <= 1.0:
+        raise ValueError("elite_fraction must be in (0, 1]")
+    if sigma0 <= 0 or sigma_floor < 0:
+        raise ValueError("sigma0 must be positive and sigma_floor non-negative")
+    rng = np.random.default_rng(seed)
+    gammas0, betas0 = linear_ramp_parameters(objective.p)
+    mean = stack_parameters(gammas0, betas0)
+    sigma = np.full(mean.shape[0], float(sigma0))
+    n_elite = max(1, int(round(population_size * elite_fraction)))
+
+    objective.reset_statistics()
+    start = time.perf_counter()
+    generation_best: list[float] = []
+    for _ in range(generations):
+        population = mean[None, :] + sigma[None, :] * rng.standard_normal(
+            (population_size, mean.shape[0]))
+        values = objective.evaluate_batch(population)
+        elite = population[np.argsort(values)[:n_elite]]
+        mean = elite.mean(axis=0)
+        sigma = np.maximum(elite.std(axis=0), sigma_floor)
+        generation_best.append(float(values.min()))
+    wall = time.perf_counter() - start
+
+    best_theta = objective.best_parameters
+    if best_theta is None:  # pragma: no cover - defensive (evaluate_batch always records)
+        best_theta = mean
+    gammas, betas = split_parameters(np.asarray(best_theta, dtype=np.float64))
+    return OptimizationResult(
+        gammas=gammas,
+        betas=betas,
+        value=float(objective.best_value),
+        n_evaluations=objective.n_evaluations,
+        wall_time=wall,
+        method="population",
+        history=list(objective.history),
     )
 
 

@@ -8,9 +8,11 @@ from repro.gates import QAOAGateBasedSimulator
 from repro.problems import labs, maxcut
 from repro.qaoa import (
     get_qaoa_objective,
+    grid_scan_qaoa,
     linear_ramp_parameters,
     make_simulator,
     minimize_qaoa,
+    population_optimize,
     progressive_depth_optimization,
     stack_parameters,
 )
@@ -153,3 +155,62 @@ class TestMinimize:
 
         with pytest.raises(ValueError):
             progressive_depth_optimization(bad_factory, max_p=2)
+
+
+class TestBatchedDrivers:
+    def test_grid_scan_matches_single_evaluations(self, small_maxcut):
+        _, terms = small_maxcut
+        obj = get_qaoa_objective(6, 1, terms=terms, backend="c")
+        gammas = np.linspace(0.0, 1.0, 4)
+        betas = np.linspace(0.0, 0.8, 5)
+        scan = grid_scan_qaoa(obj, gammas, betas)
+        assert scan.values.shape == (4, 5)
+        assert scan.n_evaluations == 20
+        assert scan.best_value == pytest.approx(scan.values.min())
+        # spot-check grid entries against independent single evaluations
+        check = get_qaoa_objective(6, 1, terms=terms, backend="c")
+        for gi, bi in ((0, 0), (2, 3), (3, 4)):
+            single = check(np.array([gammas[gi], betas[bi]]))
+            assert scan.values[gi, bi] == pytest.approx(single, rel=1e-12)
+        assert scan.values[np.searchsorted(gammas, scan.best_gamma),
+                           np.searchsorted(betas, scan.best_beta)] \
+            == pytest.approx(scan.best_value)
+
+    def test_grid_scan_requires_depth_one(self, small_maxcut):
+        _, terms = small_maxcut
+        obj = get_qaoa_objective(6, 2, terms=terms, backend="c")
+        with pytest.raises(ValueError, match="p=1"):
+            grid_scan_qaoa(obj, [0.1], [0.2])
+        obj1 = get_qaoa_objective(6, 1, terms=terms, backend="c")
+        with pytest.raises(ValueError, match="non-empty"):
+            grid_scan_qaoa(obj1, [], [0.2])
+
+    def test_population_optimize_improves_on_first_generation(self):
+        n = 6
+        terms = labs.get_terms(n)
+        obj = get_qaoa_objective(n, 2, terms=terms, backend="c")
+        result = population_optimize(obj, generations=6, population_size=16, seed=0)
+        assert result.method == "population"
+        assert result.n_evaluations == 6 * 16
+        assert result.p == 2
+        # the best-seen value can only improve over the first generation
+        assert result.value <= min(result.history[:16]) + 1e-12
+        diag = obj.simulator.get_cost_diagonal()
+        assert diag.min() - 1e-9 <= result.value <= diag.max() + 1e-9
+
+    def test_population_optimize_validation(self, small_maxcut):
+        _, terms = small_maxcut
+        obj = get_qaoa_objective(6, 1, terms=terms, backend="c")
+        with pytest.raises(ValueError):
+            population_optimize(obj, generations=0)
+        with pytest.raises(ValueError):
+            population_optimize(obj, elite_fraction=1.5)
+
+    def test_batch_memory_budget_plumbed_through_objective(self, small_maxcut):
+        _, terms = small_maxcut
+        thetas = np.array([[0.1, 0.2], [0.3, 0.4], [0.5, 0.6]])
+        tiny = get_qaoa_objective(6, 1, terms=terms, backend="python",
+                                  batch_memory_budget=16 * (1 << 6))
+        default = get_qaoa_objective(6, 1, terms=terms, backend="python")
+        np.testing.assert_allclose(tiny.evaluate_batch(thetas),
+                                   default.evaluate_batch(thetas), atol=1e-12)
