@@ -5,22 +5,28 @@ The paper's headline result is end-to-end parameter-optimization speed:
 thousands of objective evaluations over the *same* precomputed diagonal.
 This benchmark measures the fused batch engines (``simulate_qaoa_batch`` /
 ``get_expectation_batch`` overrides evolving a ``(B, 2^n)`` state block)
-against the looped base-class default, on the LABS workload the paper uses.
+against the looped base-class default, on the LABS workload the paper uses —
+and, per backend, the double-vs-single precision trade
+(``precision="single"``: complex64 state, half the bytes per amplitude).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_batched_evaluation.py           # full size
     PYTHONPATH=src python benchmarks/bench_batched_evaluation.py --smoke   # CI-sized
     PYTHONPATH=src python benchmarks/bench_batched_evaluation.py --check   # assert >=3x
+    PYTHONPATH=src python benchmarks/bench_batched_evaluation.py \
+        --json BENCH_precision.json                           # machine-readable record
 
 Full size is B=32 schedules, n=16 qubits, p=4 layers; ``--check`` fails the
 run unless the ``python`` backend's fused path is at least 3x faster than the
-looped default (the acceptance bar for the fused engine).
+looped default (the acceptance bar for the fused engine) and the
+single-precision expectations stay within the 1e-5 relative error envelope.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -33,11 +39,15 @@ except ImportError:  # running without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     import repro
 
-from repro.fur.base import QAOAFastSimulatorBase
+from repro.fur import diagonal_cache
+from repro.fur.base import QAOAFastSimulatorBase, batch_block_rows
 from repro.problems import labs
 
 #: Required fused-vs-looped advantage on the ``python`` backend (--check).
 REQUIRED_PYTHON_SPEEDUP = 3.0
+
+#: Pinned single-vs-double relative error envelope for expectations (--check).
+SINGLE_PRECISION_RTOL = 1e-5
 
 
 def _best_of(callable_, repeats: int) -> float:
@@ -75,6 +85,71 @@ def bench_backend(backend: str, terms, n: int, batch: int, p: int,
     return record
 
 
+def _fused_block_bytes(sim, batch: int) -> int:
+    """Peak fused-engine state-block bytes for one sub-batch of ``sim``."""
+    itemsize = sim.precision_spec.complex_itemsize
+    blocks = 2 if getattr(sim, "_mixer_needs_scratch", False) else 1
+    rows = batch_block_rows(batch, sim.n_states, None, blocks=blocks,
+                            itemsize=itemsize)
+    return blocks * rows * sim.n_states * itemsize
+
+
+def bench_precision(backend: str, terms, n: int, batch: int, p: int,
+                    repeats: int, rng: np.random.Generator) -> dict:
+    """Double-vs-single fused evaluation for one backend.
+
+    Reports the wall-clock speedup, the peak state-memory ratio of the fused
+    block, the modeled device speedup (gpu backend: the bandwidth-bound
+    model, which halving bytes-per-amplitude improves by construction) and
+    the worst relative error of the single-precision expectations.
+    """
+    gammas = rng.uniform(0.0, 1.0, (batch, p))
+    betas = rng.uniform(0.0, 1.0, (batch, p))
+    sims, values, times, modeled = {}, {}, {}, {}
+    for prec in ("double", "single"):
+        sim = repro.simulator(n, terms=terms, backend=backend, precision=prec)
+        values[prec] = sim.get_expectation_batch(gammas, betas)  # warm-up
+        times[prec] = _best_of(lambda s=sim: s.get_expectation_batch(gammas, betas),
+                               repeats)
+        if backend == "gpu":
+            sim.reset_device_clock()
+            sim.get_expectation_batch(gammas, betas)
+            modeled[prec] = sim.modeled_device_time()
+        sims[prec] = sim
+    scale = np.max(np.abs(values["double"]))
+    max_rel_err = float(np.max(np.abs(values["single"] - values["double"]))
+                        / max(scale, 1e-300))
+    double_bytes = _fused_block_bytes(sims["double"], batch)
+    single_bytes = _fused_block_bytes(sims["single"], batch)
+    record = {
+        "backend": backend,
+        "double_s": times["double"],
+        "single_s": times["single"],
+        "speedup": times["double"] / times["single"],
+        "state_block_bytes_double": double_bytes,
+        "state_block_bytes_single": single_bytes,
+        "memory_ratio": double_bytes / single_bytes,
+        "max_rel_err": max_rel_err,
+    }
+    if modeled:
+        record["modeled_device_s_double"] = modeled["double"]
+        record["modeled_device_s_single"] = modeled["single"]
+        record["modeled_device_speedup"] = modeled["double"] / modeled["single"]
+    return record
+
+
+def cache_metrics() -> dict:
+    """Snapshot of the process-wide diagonal-cache counters."""
+    stats = diagonal_cache.stats
+    return {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "evictions": stats.evictions,
+        "entries": len(diagonal_cache),
+        "bytes": diagonal_cache.currsize_bytes(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -85,6 +160,8 @@ def main(argv: list[str] | None = None) -> int:
                              f">= {REQUIRED_PYTHON_SPEEDUP}x")
     parser.add_argument("--backends", nargs="+", default=["python", "c", "gpu"],
                         help="backends to benchmark")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable BENCH_precision.json record")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -106,6 +183,46 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{rec['backend']:>8}  {rec['looped_s']:>11.3f}  {rec['fused_s']:>11.3f}  "
               f"{rec['speedup']:>7.2f}x{extra}")
 
+    print(f"\nPrecision: fused double vs single (complex128 vs complex64 state)")
+    print(f"{'backend':>8}  {'double [s]':>11}  {'single [s]':>11}  {'speedup':>8}  "
+          f"{'mem ratio':>9}  {'max rel err':>12}")
+    precision_results = []
+    for backend in args.backends:
+        rec = bench_precision(backend, terms, n, batch, p, repeats, rng)
+        precision_results.append(rec)
+        extra = (f"  (modeled device {rec['modeled_device_speedup']:.2f}x)"
+                 if "modeled_device_speedup" in rec else "")
+        print(f"{rec['backend']:>8}  {rec['double_s']:>11.3f}  {rec['single_s']:>11.3f}  "
+              f"{rec['speedup']:>7.2f}x  {rec['memory_ratio']:>8.2f}x  "
+              f"{rec['max_rel_err']:>12.2e}{extra}")
+
+    cache = cache_metrics()
+    print(f"\nDiagonal cache: {cache['hits']} hits, {cache['misses']} misses, "
+          f"{cache['evictions']} evictions, {cache['entries']} entries, "
+          f"{cache['bytes'] / 2**20:.1f} MiB resident")
+
+    if args.json:
+        payload = {
+            "workload": {"problem": "labs", "n": n, "batch": batch, "p": p,
+                         "repeats": repeats, "smoke": bool(args.smoke)},
+            "fused_vs_looped": results,
+            "precision": precision_results,
+            "diagonal_cache": cache,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        bad_err = [r for r in precision_results
+                   if r["max_rel_err"] > SINGLE_PRECISION_RTOL]
+        if bad_err:
+            print(f"FAIL: single-precision relative error exceeds "
+                  f"{SINGLE_PRECISION_RTOL:g}: "
+                  f"{[(r['backend'], r['max_rel_err']) for r in bad_err]}",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: single-precision expectations within {SINGLE_PRECISION_RTOL:g} "
+              "relative of double")
     if args.check and not args.smoke:
         python_recs = [r for r in results if r["backend"] == "python"]
         if not python_recs:

@@ -37,6 +37,21 @@ def _timed(fn, repeats: int = 3) -> float:
     return best
 
 
+def _cache_snapshot() -> tuple[int, int, int]:
+    """Current (hits, misses, evictions) of the process-wide diagonal cache."""
+    stats = diagonal_cache.stats
+    return stats.hits, stats.misses, stats.evictions
+
+
+def _print_cache_delta(label: str, before: tuple[int, int, int]) -> None:
+    """Report the diagonal-cache traffic one experiment generated."""
+    hits, misses, evictions = (a - b for a, b in zip(_cache_snapshot(), before))
+    print(f"  [diagonal cache] {label}: {hits} hits, {misses} misses "
+          f"({misses} precomputations), {evictions} evictions; "
+          f"{len(diagonal_cache)} entries / "
+          f"{diagonal_cache.currsize_bytes() / 2**20:.1f} MiB resident")
+
+
 def fig2(max_n: int = 14) -> None:
     """Figure 2: end-to-end CPU QAOA expectation, p=6, MaxCut 3-regular."""
     print("\n=== Figure 2: end-to-end QAOA expectation, p=6, MaxCut 3-regular ===")
@@ -175,7 +190,9 @@ def main(argv: list[str]) -> None:
     if unknown:
         raise SystemExit(f"unknown figure(s) {unknown}; available: {sorted(FIGURES)}")
     for name in selected:
+        before = _cache_snapshot()
         FIGURES[name]()
+        _print_cache_delta(name, before)
 
 
 if __name__ == "__main__":

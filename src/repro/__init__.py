@@ -27,9 +27,11 @@ single :func:`repro.simulator` facade::
     result = sim.simulate_qaoa(gammas, betas)
     energy = sim.get_expectation(result)
 
-    # explicit backend / mixer selection and capability introspection:
+    # explicit backend / mixer / precision selection and introspection:
     sim = repro.simulator(n, terms=terms, backend="python", mixer="xyring")
-    spec = repro.fur.get_backend("gpu")          # mixers, device, priority
+    sim = repro.simulator(n, terms=terms, precision="single")  # complex64 state:
+                                                 # ~2x bandwidth, half the memory
+    spec = repro.fur.get_backend("gpu")          # mixers, precisions, device
 
     # batched evaluation shares the precomputed diagonal across schedules:
     energies = sim.get_expectation_batch(gammas_batch, betas_batch)

@@ -30,6 +30,11 @@ from .base import (
     dicke_state,
     uniform_superposition,
 )
+from .precision import (
+    KNOWN_PRECISIONS,
+    PrecisionSpec,
+    resolve_precision,
+)
 from .cache import (
     DiagonalCache,
     cached_cost_diagonal,
@@ -74,6 +79,9 @@ __all__ = [
     "dicke_state",
     "batch_block_rows",
     "DEFAULT_BATCH_MEMORY_BUDGET",
+    "PrecisionSpec",
+    "resolve_precision",
+    "KNOWN_PRECISIONS",
     "CompressedDiagonal",
     "compress_diagonal",
     "DiagonalPhaseTable",
@@ -115,7 +123,8 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 @register_backend("c", aliases=("cpu",), mixers=("x", "xyring", "xycomplete"),
-                  device="cpu", distributed=False, priority=100,
+                  device="cpu", distributed=False,
+                  precisions=("double", "single"), priority=100,
                   description="cache-blocked, allocation-free CPU kernels")
 def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -126,7 +135,8 @@ def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("python", aliases=("numpy",), mixers=("x", "xyring", "xycomplete"),
-                  device="cpu", distributed=False, priority=50,
+                  device="cpu", distributed=False,
+                  precisions=("double", "single"), priority=50,
                   description="portable NumPy reference implementation")
 def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -137,7 +147,8 @@ def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("gpu", aliases=("nbcuda",), mixers=("x", "xyring", "xycomplete"),
-                  device="gpu", distributed=False, priority=30,
+                  device="gpu", distributed=False,
+                  precisions=("double", "single"), priority=30,
                   description="simulated-GPU backend (numba-CUDA analogue)")
 def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .simgpu import (
@@ -154,7 +165,7 @@ def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("gpumpi", mixers=("x",), device="gpu", distributed=True,
-                  priority=20,
+                  precisions=("double", "single"), priority=20,
                   description="distributed GPU backend (custom Alltoall, Algorithm 4)")
 def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorGPUMPI
@@ -163,7 +174,7 @@ def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("cusvmpi", aliases=("custatevec",), mixers=("x",), device="gpu",
-                  distributed=True, priority=10,
+                  distributed=True, precisions=("double", "single"), priority=10,
                   description="distributed index-bit-swap backend (cuStateVec analogue)")
 def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorCUSVMPI

@@ -31,6 +31,7 @@ import numpy as np
 from ..problems.terms import Term, validate_terms
 from .cache import cached_cost_diagonal
 from .diagonal import CompressedDiagonal, DiagonalPhaseTable, build_phase_table
+from .precision import PrecisionSpec, resolve_precision
 
 __all__ = [
     "QAOAFastSimulatorBase",
@@ -41,6 +42,7 @@ __all__ = [
     "validate_angle_batches",
     "batch_block_rows",
     "DEFAULT_BATCH_MEMORY_BUDGET",
+    "MAX_STATE_BYTES",
 ]
 
 #: Default memory budget (bytes) for the fused batch engines: the scratch a
@@ -48,25 +50,35 @@ __all__ = [
 #: batches are transparently split into sub-batches that fit the budget.
 DEFAULT_BATCH_MEMORY_BUDGET: int = 1 << 28  # 256 MiB
 
+#: Largest state vector any backend will attempt, in bytes (256 GiB — the
+#: historical n=34 complex128 ceiling).  Expressed in bytes rather than
+#: qubits so single precision buys exactly one extra qubit, the "double the
+#: problem size in the same memory" direction of the paper.
+MAX_STATE_BYTES: int = 1 << 38
+
 
 def batch_block_rows(batch_size: int, n_states: int,
                      memory_budget: float | None = None, *,
-                     blocks: int = 2) -> int:
+                     blocks: int = 2, itemsize: int = 16) -> int:
     """Rows of a ``(B, 2^n)`` complex block that fit the fused-batch budget.
 
-    ``blocks`` is the number of full-width complex128 blocks the engine
+    ``blocks`` is the number of full-width complex blocks the engine
     materializes simultaneously (e.g. 2 for a state block plus a ping-pong
-    scratch).  Always returns at least 1 — a single schedule must be
+    scratch) and ``itemsize`` the bytes per amplitude (16 for complex128,
+    8 for complex64 — single precision fits twice the rows in the same
+    budget).  Always returns at least 1 — a single schedule must be
     simulable regardless of the budget — and never more than ``batch_size``.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     if blocks <= 0:
         raise ValueError("blocks must be positive")
+    if itemsize <= 0:
+        raise ValueError("itemsize must be positive")
     budget = DEFAULT_BATCH_MEMORY_BUDGET if memory_budget is None else float(memory_budget)
     if budget <= 0:
         raise ValueError("memory_budget must be positive")
-    bytes_per_row = 16 * n_states * blocks
+    bytes_per_row = itemsize * n_states * blocks
     rows = int(budget // bytes_per_row)
     return max(1, min(int(batch_size), rows))
 
@@ -156,6 +168,11 @@ class QAOAFastSimulatorBase(abc.ABC):
         :class:`~repro.fur.diagonal.CompressedDiagonal`).  Passing a
         precomputed diagonal mirrors QOKit's ``costs=`` constructor argument
         and skips the precomputation.
+    precision:
+        ``"double"`` (complex128 state, the default) or ``"single"``
+        (complex64 state with float32 phase diagonals) — see
+        :mod:`repro.fur.precision`.  Expectation values are accumulated in
+        float64 regardless of the state precision.
     """
 
     #: human-readable backend name ("python", "c", "gpu", "gpumpi", "cusvmpi")
@@ -165,13 +182,16 @@ class QAOAFastSimulatorBase(abc.ABC):
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,
-                 costs: np.ndarray | CompressedDiagonal | None = None) -> None:
+                 costs: np.ndarray | CompressedDiagonal | None = None, *,
+                 precision: str | PrecisionSpec = "double") -> None:
         if n_qubits <= 0:
             raise ValueError(f"n_qubits must be positive, got {n_qubits}")
-        if n_qubits > 34:
+        self._precision = resolve_precision(precision)
+        state_bytes = (1 << n_qubits) * self._precision.complex_itemsize
+        if state_bytes > MAX_STATE_BYTES:
             raise ValueError(
-                f"n_qubits={n_qubits} would require {(1 << n_qubits) * 16 / 2**30:.0f} GiB "
-                "for the state vector; refusing"
+                f"n_qubits={n_qubits} would require {state_bytes / 2**30:.0f} GiB "
+                f"for the {self._precision.name}-precision state vector; refusing"
             )
         if (terms is None) == (costs is None):
             raise ValueError("provide exactly one of `terms` or `costs`")
@@ -180,6 +200,9 @@ class QAOAFastSimulatorBase(abc.ABC):
         #: resolved float64 default diagonal, cached so deep circuits and
         #: batched evaluation never decompress/validate per layer or element
         self._costs_cache: np.ndarray | None = None
+        #: precision-matched (real-dtype) view of the default diagonal used by
+        #: the phase kernels; identical to ``_costs_cache`` at double precision
+        self._phase_costs_cache: np.ndarray | None = None
         self._phase_table_cache: DiagonalPhaseTable | None = None
         self._phase_table_built = False
         self._terms: list[Term] | None = None
@@ -237,6 +260,26 @@ class QAOAFastSimulatorBase(abc.ABC):
         """The polynomial terms the simulator was constructed from (if any)."""
         return None if self._terms is None else list(self._terms)
 
+    @property
+    def precision(self) -> str:
+        """The simulation precision name (``"double"`` or ``"single"``)."""
+        return self._precision.name
+
+    @property
+    def precision_spec(self) -> PrecisionSpec:
+        """The resolved :class:`~repro.fur.precision.PrecisionSpec`."""
+        return self._precision
+
+    @property
+    def complex_dtype(self) -> np.dtype:
+        """State-vector amplitude dtype (complex128 or complex64)."""
+        return self._precision.complex_dtype
+
+    @property
+    def real_dtype(self) -> np.dtype:
+        """Phase-diagonal dtype matching the state (float64 or float32)."""
+        return self._precision.real_dtype
+
     def get_cost_diagonal(self) -> np.ndarray:
         """The precomputed cost vector as a host float64 array.
 
@@ -260,6 +303,25 @@ class QAOAFastSimulatorBase(abc.ABC):
         if self._costs_cache is None:
             self._costs_cache = self.get_cost_diagonal()
         return self._costs_cache
+
+    def _phase_costs(self) -> np.ndarray:
+        """The default diagonal at the state's matching real dtype (cached).
+
+        The phase operator streams the diagonal alongside the full state
+        every layer, so at single precision it reads a float32 copy — half
+        the diagonal traffic and phase factors computed directly at state
+        precision.  At double precision this is exactly
+        :meth:`_default_costs` (no copy).  Expectation reductions never use
+        this view; they accumulate in float64 via :meth:`_default_costs`.
+        """
+        if self._phase_costs_cache is None:
+            costs = self._default_costs()
+            if costs.dtype == self._precision.real_dtype:
+                self._phase_costs_cache = costs
+            else:
+                self._phase_costs_cache = np.ascontiguousarray(
+                    costs, dtype=self._precision.real_dtype)
+        return self._phase_costs_cache
 
     def _diagonal_phase_table(self) -> DiagonalPhaseTable | None:
         """Unique-value phase table for the default diagonal (lazy, cached).
@@ -411,15 +473,26 @@ class QAOAFastSimulatorBase(abc.ABC):
         return ((indices[:, None].astype(np.uint64) >> shifts[None, :]) & np.uint64(1)).astype(np.int8)
 
     # -- misc ----------------------------------------------------------------
-    def initial_state(self, dtype: np.dtype | type = np.complex128) -> np.ndarray:
-        """Default initial state |+>^n as a host array."""
+    def initial_state(self, dtype: np.dtype | type | None = None) -> np.ndarray:
+        """Default initial state |+>^n as a host array.
+
+        ``dtype`` overrides the amplitude dtype; by default it follows the
+        simulator's precision (complex64 for ``precision="single"``).
+        """
+        if dtype is None:
+            dtype = self._precision.complex_dtype
         return uniform_superposition(self._n_qubits, dtype=dtype)
 
     def _validate_sv0(self, sv0: np.ndarray | None) -> np.ndarray:
-        """Return a host complex128 copy of the initial state to evolve."""
+        """Return a host copy of the initial state at the simulation precision.
+
+        The copy honours the simulator's complex dtype rather than
+        unconditionally widening to complex128 — a caller-supplied complex64
+        state on a single-precision simulator is copied, never upcast.
+        """
         if sv0 is None:
             return self.initial_state()
-        arr = np.array(sv0, dtype=np.complex128, copy=True)
+        arr = np.array(sv0, dtype=self._precision.complex_dtype, copy=True)
         if arr.shape != (self._n_states,):
             raise ValueError(
                 f"initial state has shape {arr.shape}, expected ({self._n_states},)"
@@ -428,7 +501,8 @@ class QAOAFastSimulatorBase(abc.ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{type(self).__name__}(n_qubits={self._n_qubits}, "
-                f"backend={self.backend_name!r}, mixer={self.mixer_name!r})")
+                f"backend={self.backend_name!r}, mixer={self.mixer_name!r}, "
+                f"precision={self.precision!r})")
 
 
 class FusedBatchEngineMixin:
@@ -471,7 +545,8 @@ class FusedBatchEngineMixin:
     def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
         blocks = 2 if self._mixer_needs_scratch else 1
         return batch_block_rows(remaining, self._n_states, memory_budget,
-                                blocks=blocks)
+                                blocks=blocks,
+                                itemsize=self._precision.complex_itemsize)
 
     def simulate_qaoa_batch(self, gammas_batch, betas_batch,
                             sv0: np.ndarray | None = None, *,

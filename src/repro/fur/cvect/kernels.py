@@ -49,16 +49,20 @@ class KernelWorkspace:
     optimization, which is exactly the reuse pattern the paper optimizes for.
     """
 
-    def __init__(self, n_states: int, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+    def __init__(self, n_states: int, block_size: int = DEFAULT_BLOCK_SIZE,
+                 dtype: np.dtype | type = np.complex128) -> None:
         if block_size <= 0:
             raise ValueError("block_size must be positive")
         self.block_size = int(min(block_size, n_states))
         self.n_states = int(n_states)
+        #: complex dtype of the state vectors this workspace serves
+        self.dtype = np.dtype(dtype)
         #: complex scratch for SU(2) pair updates (half-block) and phases
-        self.pair_scratch = np.empty(self.block_size, dtype=np.complex128)
+        self.pair_scratch = np.empty(self.block_size, dtype=self.dtype)
         #: complex scratch holding exp(-i*gamma*costs) for a block
-        self.phase_scratch = np.empty(self.block_size, dtype=np.complex128)
-        #: real scratch for probability / expectation reductions
+        self.phase_scratch = np.empty(self.block_size, dtype=self.dtype)
+        #: real scratch for probability / expectation reductions — always
+        #: float64: expectations accumulate in double regardless of state dtype
         self.real_scratch = np.empty(self.block_size, dtype=np.float64)
 
 
@@ -78,6 +82,9 @@ def apply_su2_blocked(statevector: np.ndarray, a: complex, b: complex, qubit: in
         raise ValueError(f"qubit {qubit} out of range for state vector of length {n_states}")
     view = statevector.reshape(-1, 2, stride)
     n_groups = view.shape[0]
+    # State-dtype coefficients keep every temporary at state precision.
+    a = statevector.dtype.type(a)
+    b = statevector.dtype.type(b)
     b_conj = np.conj(b)
     a_conj = np.conj(a)
     if stride >= workspace.block_size:
@@ -135,6 +142,8 @@ def _pair_update(sub_a: np.ndarray, sub_b: np.ndarray, a: complex, b: complex,
     The only temporary is a slice of the workspace scratch buffer, so callers
     must keep chunk sizes within ``workspace.block_size``.
     """
+    a = sub_a.dtype.type(a)
+    b = sub_a.dtype.type(b)
     tmp = workspace.pair_scratch[: sub_a.size].reshape(sub_a.shape)
     np.copyto(tmp, sub_a)
     sub_a *= a
@@ -240,8 +249,8 @@ def apply_su2_batch_blocked(svb: np.ndarray, a_rows: np.ndarray, b_rows: np.ndar
     stride = 1 << qubit
     if qubit < 0 or stride * 2 > n_states:
         raise ValueError(f"qubit {qubit} out of range for state vectors of length {n_states}")
-    a_arr = np.asarray(a_rows, dtype=np.complex128)
-    b_arr = np.asarray(b_rows, dtype=np.complex128)
+    a_arr = np.asarray(a_rows, dtype=svb.dtype)
+    b_arr = np.asarray(b_rows, dtype=svb.dtype)
     if a_arr.shape != (rows,) or b_arr.shape != (rows,):
         raise ValueError(f"coefficient batches must have shape ({rows},)")
     half = n_states >> 1
@@ -276,8 +285,8 @@ def furx_all_batch_blocked(svb: np.ndarray, betas: np.ndarray, n_qubits: int,
             f"state vectors of length {n_states} do not match n={n_qubits}"
         )
     betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
-    a_rows = np.cos(betas_arr).astype(np.complex128)
-    b_rows = (-1j * np.sin(betas_arr)).astype(np.complex128)
+    a_rows = np.cos(betas_arr).astype(svb.dtype)
+    b_rows = (-1j * np.sin(betas_arr)).astype(svb.dtype)
     for q in range(n_qubits):
         apply_su2_batch_blocked(svb, a_rows, b_rows, q, workspace)
     return svb
@@ -310,7 +319,8 @@ def apply_phase_batch_inplace(svb: np.ndarray, costs: np.ndarray, gammas: np.nda
     gammas_arr = np.broadcast_to(np.asarray(gammas, dtype=np.float64), (rows,))
     chunk = workspace.block_size
     if phase_table is not None:
-        factors = phase_table.factors_batch(gammas_arr)
+        factors = phase_table.factors_batch(gammas_arr,
+                                            dtype=workspace.phase_scratch.dtype)
         inverse = phase_table.inverse
         for s in range(0, n, chunk):
             e = min(s + chunk, n)

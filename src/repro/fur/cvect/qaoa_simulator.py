@@ -48,12 +48,14 @@ class _QAOAFURCSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
     backend_name = "c"
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
-                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 precision: str = "double") -> None:
         self._block_size = int(block_size)
-        super().__init__(n_qubits, terms=terms, costs=costs)
+        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
 
     def _post_init(self) -> None:
-        self._workspace = KernelWorkspace(self._n_states, self._block_size)
+        self._workspace = KernelWorkspace(self._n_states, self._block_size,
+                                          dtype=self._precision.complex_dtype)
         # Cache a float64 view of the diagonal so the phase kernel never
         # decompresses or re-validates inside the layer loop.
         self._costs_cache = self.get_cost_diagonal()
@@ -76,8 +78,9 @@ class _QAOAFURCSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
             raise ValueError("n_trotters must be at least 1")
         g, b = validate_angles(gammas, betas)
         sv = self._validate_sv0(sv0)
+        phase_costs = self._phase_costs()
         for gamma, beta in zip(g, b):
-            apply_phase_inplace(sv, self._costs_cache, float(gamma), self._workspace)
+            apply_phase_inplace(sv, phase_costs, float(gamma), self._workspace)
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
@@ -101,8 +104,9 @@ class _QAOAFURCSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         block = np.repeat(sv[None, :], rows, axis=0)
         scratch = np.empty_like(block) if self._mixer_needs_scratch else None
         table = self._diagonal_phase_table()
+        phase_costs = self._phase_costs()
         for layer in range(g_sub.shape[1]):
-            apply_phase_batch_inplace(block, self._costs_cache, g_sub[:, layer],
+            apply_phase_batch_inplace(block, phase_costs, g_sub[:, layer],
                                       self._workspace, phase_table=table)
             self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
         return block

@@ -335,21 +335,30 @@ class DiagonalPhaseTable:
     def __len__(self) -> int:
         return int(self.inverse.shape[0])
 
-    def factors(self, gamma: float) -> np.ndarray:
-        """The length-U table ``exp(-i γ · unique_values)``."""
-        return np.exp(self.unique_values * (-1j * float(gamma)))
+    def factors(self, gamma: float,
+                dtype: np.dtype | type = np.complex128) -> np.ndarray:
+        """The length-U table ``exp(-i γ · unique_values)``.
 
-    def factors_batch(self, gammas: np.ndarray) -> np.ndarray:
+        ``dtype`` selects the precision of the gathered factors (the table is
+        tiny, so the exponential is always evaluated in double and cast) —
+        single-precision simulators gather ``complex64`` factors so the
+        full-width multiply into the state stays at state precision.
+        """
+        table = np.exp(self.unique_values * (-1j * float(gamma)))
+        return table.astype(dtype, copy=False)
+
+    def factors_batch(self, gammas: np.ndarray,
+                      dtype: np.dtype | type = np.complex128) -> np.ndarray:
         """Per-schedule tables ``exp(-i γ_b · unique_values)``, shape (B, U)."""
         g = np.atleast_1d(np.asarray(gammas, dtype=np.float64))
-        return np.exp(np.outer(g, self.unique_values) * (-1j))
+        table = np.exp(np.outer(g, self.unique_values) * (-1j))
+        return table.astype(dtype, copy=False)
 
     def phases(self, gamma: float, out: np.ndarray | None = None) -> np.ndarray:
         """Full-length phase vector ``exp(-i γ c)`` via table gather."""
-        table = self.factors(gamma)
         if out is None:
-            return table[self.inverse]
-        np.take(table, self.inverse, out=out)
+            return self.factors(gamma)[self.inverse]
+        np.take(self.factors(gamma, dtype=out.dtype), self.inverse, out=out)
         return out
 
 

@@ -76,7 +76,8 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  n_ranks: int = 4, block_size: int = DEFAULT_BLOCK_SIZE,
-                 parallel_local: bool = False) -> None:
+                 parallel_local: bool = False,
+                 precision: str = "double") -> None:
         if n_ranks <= 0 or n_ranks & (n_ranks - 1):
             raise ValueError(f"n_ranks must be a positive power of two, got {n_ranks}")
         k = n_ranks.bit_length() - 1
@@ -89,7 +90,7 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
         self._block_size = int(block_size)
         self._parallel_local = bool(parallel_local)
         self.traffic_log: list[TrafficTrace] = []
-        super().__init__(n_qubits, terms=terms, costs=costs)
+        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
 
     # -- construction ------------------------------------------------------------
     @property
@@ -124,8 +125,18 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
         return host
 
     def _post_init(self) -> None:
-        self._workspace = [KernelWorkspace(self.local_states, self._block_size)
+        self._workspace = [KernelWorkspace(self.local_states, self._block_size,
+                                           dtype=self._precision.complex_dtype)
                            for _ in range(self._n_ranks)]
+        # Phase kernels stream a precision-matched diagonal slice; the float64
+        # ``_cost_slices`` remain the accumulation-side (expectation) view.
+        if self._precision.is_double:
+            self._phase_cost_slices = self._cost_slices
+        else:
+            self._phase_cost_slices = [
+                np.ascontiguousarray(c, dtype=self._precision.real_dtype)
+                for c in self._cost_slices
+            ]
 
     # -- helpers -------------------------------------------------------------------
     def _map_ranks(self, fn) -> None:
@@ -141,13 +152,15 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
         s = self.local_states
         if sv0 is None:
             amp = 1.0 / np.sqrt(self._n_states)
-            return [np.full(s, amp, dtype=np.complex128) for _ in range(self._n_ranks)]
+            return [np.full(s, amp, dtype=self._precision.complex_dtype)
+                    for _ in range(self._n_ranks)]
         full = self._validate_sv0(sv0)
         return [np.array(full[r * s:(r + 1) * s], copy=True) for r in range(self._n_ranks)]
 
     def _apply_phase(self, slices: list[np.ndarray], gamma: float) -> None:
         def work(r: int) -> None:
-            apply_phase_inplace(slices[r], self._cost_slices[r], gamma, self._workspace[r])
+            apply_phase_inplace(slices[r], self._phase_cost_slices[r], gamma,
+                                self._workspace[r])
 
         self._map_ranks(work)
 
@@ -189,8 +202,8 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
 
     def get_probabilities(self, result: DistributedStateVector, preserve_state: bool = True,
                           *, mpi_gather: bool = True, **kwargs: Any) -> np.ndarray | list[np.ndarray]:
-        """Measurement probabilities (gathered by default)."""
-        probs = [np.abs(s) ** 2 for s in result.slices]
+        """Measurement probabilities (gathered by default; always float64)."""
+        probs = [(np.abs(s) ** 2).astype(np.float64, copy=False) for s in result.slices]
         if mpi_gather:
             return np.concatenate(probs)
         return probs
@@ -237,7 +250,8 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
     def __init__(self, n_qubits: int, terms=None, costs=None, *, n_ranks: int = 4,
                  alltoall_algorithm: str = "direct",
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 parallel_local: bool = False) -> None:
+                 parallel_local: bool = False,
+                 precision: str = "double") -> None:
         if alltoall_algorithm not in ALLTOALL_ALGORITHMS:
             raise ValueError(
                 f"unknown alltoall algorithm {alltoall_algorithm!r}; "
@@ -245,7 +259,8 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
             )
         self.alltoall_algorithm = alltoall_algorithm
         super().__init__(n_qubits, terms=terms, costs=costs, n_ranks=n_ranks,
-                         block_size=block_size, parallel_local=parallel_local)
+                         block_size=block_size, parallel_local=parallel_local,
+                         precision=precision)
 
     def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
         # First Alltoall: transpose global and (top-k local) qubits.

@@ -20,6 +20,7 @@ from ...parallel.communicator import Communicator, ThreadCluster
 from ..base import validate_angles
 from ..cvect.kernels import KernelWorkspace, apply_phase_inplace, apply_su2_blocked
 from ..diagonal import precompute_cost_diagonal_slice
+from ..precision import resolve_precision
 from ..python.furx import su2_x_rotation
 
 __all__ = ["qaoa_rank_program", "run_distributed_qaoa"]
@@ -27,12 +28,15 @@ __all__ = ["qaoa_rank_program", "run_distributed_qaoa"]
 
 def qaoa_rank_program(comm: Communicator, n_qubits: int,
                       terms: list[tuple[float, tuple[int, ...]]],
-                      gammas: Sequence[float], betas: Sequence[float]) -> dict:
+                      gammas: Sequence[float], betas: Sequence[float],
+                      precision: str = "double") -> dict:
     """The per-rank program: evolve the local slice and reduce the objective.
 
-    Returns a dict with the rank's slice (``statevector_slice``), the global
-    expectation value (identical on every rank after the allreduce) and the
-    number of alltoall calls performed.
+    ``precision`` selects the amplitude width (``"single"`` halves both the
+    local-slice memory and the alltoall traffic).  Returns a dict with the
+    rank's slice (``statevector_slice``), the global expectation value
+    (identical on every rank after the allreduce, always accumulated in
+    float64) and the number of alltoall calls performed.
     """
     rank, size = comm.rank, comm.size
     if size & (size - 1):
@@ -43,12 +47,14 @@ def qaoa_rank_program(comm: Communicator, n_qubits: int,
     n_local = n_qubits - k
     local_states = 1 << n_local
     g, b_angles = validate_angles(gammas, betas)
+    spec = resolve_precision(precision)
 
     # Slice-local precomputation (Sec. III-A: no communication needed).
     costs = precompute_cost_diagonal_slice(terms, n_qubits,
-                                           rank * local_states, (rank + 1) * local_states)
-    sv = np.full(local_states, 1.0 / np.sqrt(1 << n_qubits), dtype=np.complex128)
-    workspace = KernelWorkspace(local_states)
+                                           rank * local_states, (rank + 1) * local_states,
+                                           dtype=spec.real_dtype)
+    sv = np.full(local_states, 1.0 / np.sqrt(1 << n_qubits), dtype=spec.complex_dtype)
+    workspace = KernelWorkspace(local_states, dtype=spec.complex_dtype)
     n_alltoall = 0
 
     for gamma, beta in zip(g, b_angles):
@@ -64,7 +70,9 @@ def qaoa_rank_program(comm: Communicator, n_qubits: int,
             sv = comm.alltoall(sv)
             n_alltoall += 1
 
-    local_expectation = float(np.dot(np.abs(sv) ** 2, costs))
+    # Float64 accumulation regardless of the state precision.
+    probs = (np.abs(sv) ** 2).astype(np.float64, copy=False)
+    local_expectation = float(np.dot(probs, np.asarray(costs, dtype=np.float64)))
     expectation = float(comm.allreduce_sum(local_expectation))
     return {
         "rank": rank,
@@ -76,7 +84,7 @@ def qaoa_rank_program(comm: Communicator, n_qubits: int,
 
 def run_distributed_qaoa(n_qubits: int, terms: Iterable[tuple[float, Iterable[int]]],
                          gammas: Sequence[float], betas: Sequence[float],
-                         n_ranks: int = 4) -> dict:
+                         n_ranks: int = 4, precision: str = "double") -> dict:
     """Run the SPMD program on a :class:`ThreadCluster` and assemble the results.
 
     Returns a dict with the gathered ``statevector``, the ``expectation`` and
@@ -85,7 +93,7 @@ def run_distributed_qaoa(n_qubits: int, terms: Iterable[tuple[float, Iterable[in
     term_list = [(float(w), tuple(idx)) for w, idx in terms]
     cluster = ThreadCluster(n_ranks)
     results = cluster.run(qaoa_rank_program,
-                          [(n_qubits, term_list, gammas, betas)] * n_ranks)
+                          [(n_qubits, term_list, gammas, betas, precision)] * n_ranks)
     results.sort(key=lambda r: r["rank"])
     full = np.concatenate([r["statevector_slice"] for r in results])
     return {

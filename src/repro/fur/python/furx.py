@@ -69,6 +69,10 @@ def apply_su2(statevector: np.ndarray, a: complex, b: complex, qubit: int) -> np
     stride = 1 << qubit
     if qubit < 0 or stride * 2 > n_states:
         raise ValueError(f"qubit {qubit} out of range for state vector of length {n_states}")
+    # Cast the coefficients to the state dtype so complex64 states never pay
+    # for widened complex128 temporaries in the pair update.
+    a = statevector.dtype.type(a)
+    b = statevector.dtype.type(b)
     view = statevector.reshape(-1, 2, stride)
     lo = view[:, 0, :]
     hi = view[:, 1, :]
@@ -109,18 +113,25 @@ def furx_all(statevector: np.ndarray, beta: float, n_qubits: int) -> np.ndarray:
 # Batched kernels — one NumPy op covers a whole (B, 2^n) block of states.
 # ---------------------------------------------------------------------------
 
-def su2_x_rotation_batch(betas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def su2_x_rotation_batch(betas: np.ndarray,
+                         dtype: np.dtype | type = np.complex128
+                         ) -> tuple[np.ndarray, np.ndarray]:
     """Per-schedule SU(2) parameters ``(a_b, b_b)`` of ``exp(-i β_b X)``."""
     b_arr = np.asarray(betas, dtype=np.float64)
-    return (np.cos(b_arr).astype(np.complex128),
-            (-1j * np.sin(b_arr)).astype(np.complex128))
+    return (np.cos(b_arr).astype(dtype),
+            (-1j * np.sin(b_arr)).astype(dtype))
 
 
-def _batch_coefficient(coeff: complex | np.ndarray, rows: int) -> complex | np.ndarray:
-    """Normalize an SU(2) coefficient to a scalar or (rows, 1, 1) broadcaster."""
-    arr = np.asarray(coeff, dtype=np.complex128)
+def _batch_coefficient(coeff: complex | np.ndarray, rows: int,
+                       dtype: np.dtype) -> np.ndarray:
+    """Normalize an SU(2) coefficient to a scalar or (rows, 1, 1) broadcaster.
+
+    The coefficient is cast to the block's complex dtype so the pair update
+    runs entirely at state precision.
+    """
+    arr = np.asarray(coeff, dtype=dtype)
     if arr.ndim == 0:
-        return complex(arr)
+        return arr[()]
     if arr.shape != (rows,):
         raise ValueError(f"coefficient batch has shape {arr.shape}, expected ({rows},)")
     return arr.reshape(rows, 1, 1)
@@ -145,8 +156,8 @@ def apply_su2_batch(block: np.ndarray, a: complex | np.ndarray,
     view = block.reshape(rows, -1, 2, stride)
     lo = view[:, :, 0, :]
     hi = view[:, :, 1, :]
-    a_c = _batch_coefficient(a, rows)
-    b_c = _batch_coefficient(b, rows)
+    a_c = _batch_coefficient(a, rows, block.dtype)
+    b_c = _batch_coefficient(b, rows, block.dtype)
     tmp = lo.copy()
     lo *= a_c
     lo -= np.conjugate(b_c) * hi
@@ -155,10 +166,11 @@ def apply_su2_batch(block: np.ndarray, a: complex | np.ndarray,
     return block
 
 
-def _su2_batch_matrices(betas: np.ndarray) -> np.ndarray:
+def _su2_batch_matrices(betas: np.ndarray,
+                        dtype: np.dtype | type = np.complex128) -> np.ndarray:
     """Stacked single-qubit mixers ``exp(-i β_b X)``, shape (B, 2, 2)."""
-    a, b = su2_x_rotation_batch(betas)
-    u = np.empty((a.shape[0], 2, 2), dtype=np.complex128)
+    a, b = su2_x_rotation_batch(betas, dtype=dtype)
+    u = np.empty((a.shape[0], 2, 2), dtype=dtype)
     u[:, 0, 0] = a
     u[:, 1, 1] = a
     u[:, 0, 1] = b
@@ -205,7 +217,9 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
     if group_size < 1:
         raise ValueError("group_size must be at least 1")
     betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
-    u = _su2_batch_matrices(betas_arr)
+    # Group unitaries at the block's dtype: the stacked matmuls then dispatch
+    # to the matching-precision gemm instead of a widened fallback.
+    u = _su2_batch_matrices(betas_arr, dtype=block.dtype)
     if scratch is None:
         scratch = np.empty_like(block)
     elif scratch.shape != block.shape or scratch.dtype != block.dtype:

@@ -65,6 +65,9 @@ def apply_xy_su2(statevector: np.ndarray, a: complex, b: complex,
     lo_q, hi_q = (qubit_i, qubit_j) if qubit_i < qubit_j else (qubit_j, qubit_i)
     if (1 << (hi_q + 1)) > n_states:
         raise ValueError(f"qubit {hi_q} out of range for state vector of length {n_states}")
+    # State-dtype coefficients keep the update free of widened temporaries.
+    a = statevector.dtype.type(a)
+    b = statevector.dtype.type(b)
     # Axis layout: (top, bit hi_q, mid, bit lo_q, low)
     view = statevector.reshape(-1, 2, 1 << (hi_q - lo_q - 1), 2, 1 << lo_q)
     # Amplitude with bit_i = 1, bit_j = 0 / bit_i = 0, bit_j = 1, respecting
@@ -94,11 +97,15 @@ def furxy(statevector: np.ndarray, beta: float, qubit_i: int, qubit_j: int) -> n
 # Batched kernels — one NumPy op covers a whole (B, 2^n) block of states.
 # ---------------------------------------------------------------------------
 
-def _batch_xy_coefficient(coeff: complex | np.ndarray, rows: int) -> complex | np.ndarray:
-    """Normalize a coefficient to a scalar or (rows, 1, 1, 1) broadcaster."""
-    arr = np.asarray(coeff, dtype=np.complex128)
+def _batch_xy_coefficient(coeff: complex | np.ndarray, rows: int,
+                          dtype: np.dtype) -> np.ndarray:
+    """Normalize a coefficient to a scalar or (rows, 1, 1, 1) broadcaster.
+
+    Cast to the block's complex dtype so the update runs at state precision.
+    """
+    arr = np.asarray(coeff, dtype=dtype)
     if arr.ndim == 0:
-        return complex(arr)
+        return arr[()]
     if arr.shape != (rows,):
         raise ValueError(f"coefficient batch has shape {arr.shape}, expected ({rows},)")
     return arr.reshape(rows, 1, 1, 1)
@@ -129,8 +136,8 @@ def apply_xy_su2_batch(block: np.ndarray, a: complex | np.ndarray,
     else:  # qubit_j is hi_q
         amp_10 = view[:, :, 0, :, 1, :]
         amp_01 = view[:, :, 1, :, 0, :]
-    a_c = _batch_xy_coefficient(a, rows)
-    b_c = _batch_xy_coefficient(b, rows)
+    a_c = _batch_xy_coefficient(a, rows, block.dtype)
+    b_c = _batch_xy_coefficient(b, rows, block.dtype)
     tmp = amp_10.copy()
     amp_10 *= a_c
     amp_10 -= np.conjugate(b_c) * amp_01

@@ -65,9 +65,11 @@ class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
 
         Uses the per-simulator resolved-diagonal cache: for a
         :class:`~repro.fur.diagonal.CompressedDiagonal` problem the 2^n float
-        vector is decompressed exactly once, not once per layer.
+        vector is decompressed exactly once, not once per layer.  The phase
+        factors are evaluated at the state's precision (float32 costs with a
+        weak complex scalar yield complex64 factors for single precision).
         """
-        sv *= np.exp(self._default_costs() * (-1j * gamma))
+        sv *= np.exp(self._phase_costs() * (-1j * gamma))
 
     def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
                       sv0: np.ndarray | None = None, *, n_trotters: int = 1,
@@ -116,13 +118,13 @@ class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         table = self._diagonal_phase_table()
         rows, n = block.shape
         if table is not None:
-            factors = table.factors_batch(gammas_layer)
+            factors = table.factors_batch(gammas_layer, dtype=block.dtype)
             for r in range(rows):
                 np.take(factors[r], table.inverse, out=phase_buf)
                 block[r] *= phase_buf
             return
-        costs = self._default_costs()
-        coeff = -1j * gammas_layer
+        costs = self._phase_costs()
+        coeff = (-1j * gammas_layer).astype(block.dtype)
         cols = max(1, _BATCH_PHASE_CHUNK // rows)
         for s in range(0, n, cols):
             e = min(s + cols, n)
@@ -139,7 +141,7 @@ class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         sv = self._validate_sv0(sv0)
         block = np.repeat(sv[None, :], rows, axis=0)
         scratch = np.empty_like(block) if self._mixer_needs_scratch else None
-        phase_buf = np.empty(self._n_states, dtype=np.complex128)
+        phase_buf = np.empty(self._n_states, dtype=self._precision.complex_dtype)
         for layer in range(g_sub.shape[1]):
             self._apply_phase_block(block, g_sub[:, layer], phase_buf)
             self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
@@ -155,17 +157,17 @@ class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
 
     def get_probabilities(self, result: np.ndarray, preserve_state: bool = True,
                           **kwargs: Any) -> np.ndarray:
-        """Measurement probabilities |ψ_x|²."""
+        """Measurement probabilities |ψ_x|² (always float64 on output)."""
         sv = np.asarray(result)
         if preserve_state:
-            return np.abs(sv) ** 2
+            return (np.abs(sv) ** 2).astype(np.float64, copy=False)
         # In-place variant: square magnitudes into the state-vector buffer,
         # then return a contiguous float64 array — a strided ``.real`` view
         # of the complex buffer would halve the throughput of every
         # downstream reduction (and surprise callers expecting a plain
         # probability vector).
         np.multiply(sv, np.conj(sv), out=sv)
-        return np.ascontiguousarray(sv.real)
+        return np.ascontiguousarray(sv.real, dtype=np.float64)
 
 
 def _block_expectations(block: np.ndarray, costs: np.ndarray,

@@ -44,6 +44,8 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .precision import KNOWN_PRECISIONS, resolve_precision
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .base import QAOAFastSimulatorBase
 
@@ -87,6 +89,10 @@ class BackendSpec:
     distributed:
         Whether the backend spreads the state over multiple ranks.  The
         ``auto`` resolution never picks a distributed backend implicitly.
+    precisions:
+        Simulation precisions the family implements (``"double"`` and/or
+        ``"single"`` — see :mod:`repro.fur.precision`).  Defaults to
+        double-only; backends must opt in to the complex64 path.
     priority:
         Resolution order for ``backend="auto"`` — highest available priority
         wins.
@@ -100,6 +106,7 @@ class BackendSpec:
     mixers: tuple[str, ...] = ("x",)
     device: str = "cpu"
     distributed: bool = False
+    precisions: tuple[str, ...] = ("double",)
     priority: int = 0
     description: str = ""
     _classes: dict[str, type] | None = field(default=None, repr=False)
@@ -108,6 +115,10 @@ class BackendSpec:
     def supports_mixer(self, mixer: str) -> bool:
         """Whether this family implements the given mixer."""
         return mixer in self.mixers
+
+    def supports_precision(self, precision: str) -> bool:
+        """Whether this family implements the given simulation precision."""
+        return resolve_precision(precision).name in self.precisions
 
     @property
     def available(self) -> bool:
@@ -187,7 +198,9 @@ class BackendRegistry:
 
     def register_backend(self, name: str, *, aliases: Iterable[str] = (),
                          mixers: Iterable[str] = ("x",), device: str = "cpu",
-                         distributed: bool = False, priority: int = 0,
+                         distributed: bool = False,
+                         precisions: Iterable[str] = ("double",),
+                         priority: int = 0,
                          description: str = "",
                          overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
         """Decorator form of :meth:`register` for a lazy loader function.
@@ -205,6 +218,7 @@ class BackendRegistry:
                     mixers=tuple(mixers),
                     device=device,
                     distributed=distributed,
+                    precisions=tuple(resolve_precision(p).name for p in precisions),
                     priority=priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
                 ),
@@ -240,6 +254,7 @@ class BackendRegistry:
             alias_note = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
             lines.append(
                 f"{name:>10}  [{'/'.join(tags)}] mixers={','.join(spec.mixers)} "
+                f"precisions={','.join(spec.precisions)} "
                 f"priority={spec.priority}{alias_note}  {spec.description}"
             )
         return "\n".join(lines)
@@ -267,14 +282,18 @@ class BackendRegistry:
         except KeyError:
             raise self._unknown_backend_error(name) from None
 
-    def resolve(self, name: str = "auto", *, mixer: str | None = None) -> BackendSpec:
+    def resolve(self, name: str = "auto", *, mixer: str | None = None,
+                precision: str | None = None) -> BackendSpec:
         """Resolve a backend request to a concrete, importable spec.
 
         With ``name="auto"``, the highest-priority non-distributed backend
-        that imports successfully (and implements ``mixer``, if given) is
-        chosen — so a broken optional dependency silently falls back to the
-        next-fastest family instead of failing construction.
+        that imports successfully (and implements ``mixer`` and
+        ``precision``, if given) is chosen — so a broken optional dependency
+        silently falls back to the next-fastest family instead of failing
+        construction.
         """
+        if precision is not None:
+            precision = resolve_precision(precision).name
         if name == "auto":
             if mixer is not None and not any(
                 s.supports_mixer(mixer) for s in self._specs.values()
@@ -286,7 +305,9 @@ class BackendRegistry:
                 )
             candidates = [
                 s for s in map(self._specs.__getitem__, self.names())
-                if not s.distributed and (mixer is None or s.supports_mixer(mixer))
+                if not s.distributed
+                and (mixer is None or s.supports_mixer(mixer))
+                and (precision is None or s.supports_precision(precision))
             ]
             errors: list[str] = []
             for spec in candidates:
@@ -294,9 +315,14 @@ class BackendRegistry:
                     return spec
                 errors.append(f"{spec.name}: {spec._load_error!r}")
             detail = f" (load failures: {'; '.join(errors)})" if errors else ""
+            wanted = []
+            if mixer is not None:
+                wanted.append(f"the {mixer!r} mixer")
+            if precision is not None:
+                wanted.append(f"{precision!r} precision")
             raise RuntimeError(
-                f"no available backend implements the {mixer!r} mixer{detail}"
-                if mixer is not None
+                f"no available backend implements {' with '.join(wanted)}{detail}"
+                if wanted
                 else f"no simulator backend is available{detail}"
             )
         spec = self.spec(name)
@@ -307,12 +333,22 @@ class BackendRegistry:
                 f"(it implements: {', '.join(spec.mixers)}; "
                 f"backends implementing {mixer!r}: {', '.join(sorted(supporting)) or 'none'})"
             )
+        if precision is not None and not spec.supports_precision(precision):
+            supporting = [s.name for s in self._specs.values()
+                          if s.supports_precision(precision)]
+            raise ValueError(
+                f"backend {spec.name!r} does not implement {precision!r} precision "
+                f"(it implements: {', '.join(spec.precisions)}; "
+                f"backends implementing {precision!r}: "
+                f"{', '.join(sorted(supporting)) or 'none'})"
+            )
         return spec
 
-    def simulator_class(self, name: str = "auto",
-                        mixer: str = "x") -> type[QAOAFastSimulatorBase]:
+    def simulator_class(self, name: str = "auto", mixer: str = "x",
+                        precision: str | None = None) -> type[QAOAFastSimulatorBase]:
         """Resolve and load the simulator class for a backend/mixer pair."""
-        return self.resolve(name, mixer=mixer).simulator_class(mixer)
+        return self.resolve(name, mixer=mixer,
+                            precision=precision).simulator_class(mixer)
 
 
 #: The process-wide registry all public entry points consult.
@@ -322,34 +358,41 @@ registry = BackendRegistry()
 register_backend = registry.register_backend
 
 
-def get_backend(name: str = "auto", *, mixer: str | None = None) -> BackendSpec:
+def get_backend(name: str = "auto", *, mixer: str | None = None,
+                precision: str | None = None) -> BackendSpec:
     """Resolve a backend name/alias to its :class:`BackendSpec`.
 
     This is the introspection companion of :func:`simulator`: it exposes the
-    capability metadata (supported mixers, device class, distributed-ness)
-    without constructing anything.
+    capability metadata (supported mixers, precisions, device class,
+    distributed-ness) without constructing anything.
     """
-    return registry.resolve(name, mixer=mixer)
+    return registry.resolve(name, mixer=mixer, precision=precision)
 
 
-def get_simulator_class(name: str = "auto",
-                        mixer: str = "x") -> type[QAOAFastSimulatorBase]:
+def get_simulator_class(name: str = "auto", mixer: str = "x",
+                        precision: str | None = None) -> type[QAOAFastSimulatorBase]:
     """The simulator class registered for a backend/mixer pair."""
-    return registry.simulator_class(name, mixer)
+    return registry.simulator_class(name, mixer, precision=precision)
 
 
 def available_backends(*, mixer: str | None = None,
+                       precision: str | None = None,
                        importable_only: bool = False) -> list[str]:
     """Names of registered backends, optionally filtered by capability.
 
-    ``mixer`` restricts to families implementing that mixer;
+    ``mixer`` restricts to families implementing that mixer; ``precision``
+    to families implementing that simulation precision;
     ``importable_only`` additionally imports each candidate and drops the ones
     whose optional dependencies are missing.
     """
+    if precision is not None:
+        precision = resolve_precision(precision).name
     names = []
     for name in sorted(registry.names()):
         spec = registry.spec(name)
         if mixer is not None and not spec.supports_mixer(mixer):
+            continue
+        if precision is not None and not spec.supports_precision(precision):
             continue
         if importable_only and not spec.available:
             continue
@@ -362,6 +405,7 @@ def simulator(n_qubits: int,
               costs: np.ndarray | None = None, *,
               backend: str | type | Any = "auto",
               mixer: str = "x",
+              precision: str | None = None,
               **simulator_kwargs: Any) -> QAOAFastSimulatorBase:
     """Construct a fast QAOA simulator — the package's single entry point.
 
@@ -379,19 +423,36 @@ def simulator(n_qubits: int,
         ``"gpumpi"``, ``"cusvmpi"``, ...), a simulator *class*, or an
         already-constructed simulator instance (returned unchanged).
         ``"auto"`` picks the highest-priority available backend implementing
-        the requested mixer.
+        the requested mixer and precision.
     mixer:
         ``"x"`` (transverse field), ``"xyring"`` or ``"xycomplete"``.
+    precision:
+        ``"double"`` (complex128 state, the default when unspecified) or
+        ``"single"`` (complex64 state: ~2x the memory bandwidth, half the
+        state memory, expectation values within the single-precision error
+        envelope — see the README's Precision section).  When omitted, an
+        already-constructed simulator instance passes through at whatever
+        precision it was built with; an explicit value must match it.
     simulator_kwargs:
         Forwarded to the backend constructor (e.g. ``block_size`` for the
         ``c`` family, ``n_ranks`` for the distributed families).
     """
     from .base import QAOAFastSimulatorBase  # deferred: base imports first
 
+    spec_precision = resolve_precision(precision)
     if isinstance(backend, QAOAFastSimulatorBase):
+        # An unspecified precision passes the instance through at whatever
+        # precision it was built with; only an explicit request is checked.
+        if precision is not None and spec_precision.name != backend.precision:
+            raise ValueError(
+                f"simulator instance runs at {backend.precision!r} precision "
+                f"but {spec_precision.name!r} was requested; construct a new "
+                "simulator instead of passing an instance"
+            )
         return backend
     if isinstance(backend, str):
-        cls = registry.simulator_class(backend, mixer)
+        cls = registry.simulator_class(backend, mixer,
+                                       precision=spec_precision.name)
     elif isinstance(backend, type) and issubclass(backend, QAOAFastSimulatorBase):
         cls = backend
     else:
@@ -399,4 +460,8 @@ def simulator(n_qubits: int,
             "backend must be a registry name, a QAOAFastSimulatorBase subclass "
             f"or instance; got {backend!r}"
         )
+    if not spec_precision.is_double:
+        # Only forwarded when non-default so third-party simulator classes
+        # without a ``precision`` keyword keep working through the facade.
+        simulator_kwargs["precision"] = spec_precision.name
     return cls(n_qubits, terms=terms, costs=costs, **simulator_kwargs)

@@ -106,10 +106,15 @@ def device_precompute_diagonal(device, masks: np.ndarray, weights: np.ndarray,
 
 
 def device_probabilities(sv: DeviceArray, preserve_state: bool = True) -> DeviceArray:
-    """Norm-square kernel; with ``preserve_state=False`` it reuses the state buffer."""
+    """Norm-square kernel; with ``preserve_state=False`` it reuses the state buffer.
+
+    The device-resident probabilities match the state's real dtype (float32
+    for a complex64 state — half the device memory and traffic); output
+    methods cast to float64 once the values reach the host.
+    """
     device = sv.device
     if preserve_state:
-        out = device.empty(sv.shape, dtype=np.float64)
+        out = device.empty(sv.shape, dtype=sv.data.real.dtype)
         np.multiply(sv.data.real, sv.data.real, out=out.data)
         out.data += sv.data.imag * sv.data.imag
         device.charge_kernel(sv.nbytes + out.nbytes)
@@ -129,7 +134,9 @@ def device_expectation(sv: DeviceArray, costs: DeviceArray,
     _check_device_pair(sv, costs)
     from ..cvect.kernels import expectation_inplace
 
-    value = expectation_inplace(sv.data, np.asarray(costs.data, dtype=np.float64), workspace)
+    # The blocked reduction accumulates in the workspace's float64 scratch
+    # regardless of the diagonal's (possibly float32) device dtype.
+    value = expectation_inplace(sv.data, costs.data, workspace)
     sv.device.charge_kernel(sv.nbytes + costs.nbytes)
     return value
 
@@ -142,8 +149,8 @@ def device_apply_phase_batch(svb: DeviceArray, costs: DeviceArray, gammas: np.nd
                              workspace: KernelWorkspace, phase_table=None) -> DeviceArray:
     """Batched phase kernel: one diagonal read shared by every block row."""
     _check_device_pair(svb, costs)
-    apply_phase_batch_inplace(svb.data, np.asarray(costs.data, dtype=np.float64),
-                              gammas, workspace, phase_table=phase_table)
+    apply_phase_batch_inplace(svb.data, costs.data, gammas, workspace,
+                              phase_table=phase_table)
     svb.device.charge_kernel(2 * svb.nbytes + costs.nbytes)
     return svb
 
@@ -194,8 +201,7 @@ def device_expectation_batch(svb: DeviceArray, costs: DeviceArray,
                              workspace: KernelWorkspace) -> np.ndarray:
     """Per-row expectation reduction over a device block (host scalars out)."""
     _check_device_pair(svb, costs)
-    values = expectation_batch_inplace(svb.data, np.asarray(costs.data, dtype=np.float64),
-                                       workspace)
+    values = expectation_batch_inplace(svb.data, costs.data, workspace)
     svb.device.charge_kernel(svb.nbytes + costs.nbytes)
     return values
 

@@ -58,28 +58,45 @@ class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  device: SimulatedDevice | None = None,
                  device_spec: DeviceSpec = A100_80GB,
-                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 precision: str = "double") -> None:
         self._device = device if device is not None else SimulatedDevice(device_spec)
         self._block_size = int(block_size)
-        super().__init__(n_qubits, terms=terms, costs=costs)
+        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
 
     # -- construction hooks ----------------------------------------------------
     def _precompute_diagonal(self, terms) -> np.ndarray:
-        """Precompute the diagonal *on the device* and mirror it on the host."""
+        """Precompute the diagonal *on the device* and mirror it on the host.
+
+        The host mirror is always float64 (the expectation-accumulation
+        policy); at single precision the device copy is downcast to float32 —
+        half the diagonal traffic of every phase kernel — via one modeled
+        cast kernel.
+        """
         masks, weights, offset = term_masks_and_weights(terms, self._n_qubits)
-        self._costs_device = device_precompute_diagonal(
+        full = device_precompute_diagonal(
             self._device, masks, weights, offset, 0, self._n_states
         )
-        return np.array(self._costs_device.data, copy=True)
+        host = np.array(full.data, copy=True)
+        if self._precision.real_dtype != full.dtype:
+            cast = self._device.empty(self._n_states, dtype=self._precision.real_dtype)
+            cast.data[:] = full.data
+            self._device.charge_kernel(full.nbytes + cast.nbytes)
+            full.free()
+            full = cast
+        self._costs_device = full
+        return host
 
     def _ingest_costs(self, costs):
         host = super()._ingest_costs(costs)
         host_arr = host.decompress() if hasattr(host, "decompress") else np.asarray(host, dtype=np.float64)
-        self._costs_device = self._device.to_device(host_arr)
+        self._costs_device = self._device.to_device(
+            np.ascontiguousarray(host_arr, dtype=self._precision.real_dtype))
         return host
 
     def _post_init(self) -> None:
-        self._workspace = KernelWorkspace(self._n_states, self._block_size)
+        self._workspace = KernelWorkspace(self._n_states, self._block_size,
+                                          dtype=self._precision.complex_dtype)
 
     # -- properties --------------------------------------------------------------
     @property
@@ -130,10 +147,14 @@ class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         attempted (the device allocator raises :class:`MemoryError` if it
         truly cannot fit).
         """
-        rows = batch_block_rows(remaining, self._n_states, memory_budget, blocks=2)
+        itemsize = self._precision.complex_itemsize
+        rows = batch_block_rows(remaining, self._n_states, memory_budget,
+                                blocks=2, itemsize=itemsize)
         free = (self._device.spec.memory_capacity
                 - self._device.stats.allocated_bytes)
-        per_row = 2 * 16 * self._n_states
+        # complex64 amplitudes halve the per-row device cost, doubling the
+        # rows device_split_rows can keep resident per sub-batch.
+        per_row = 2 * itemsize * self._n_states
         device_rows = int(free // per_row)
         return max(1, min(rows, device_rows))
 

@@ -221,37 +221,52 @@ def spins_from_index(x: int, n: int) -> np.ndarray:
 
 
 def bits_from_index(x: int, n: int) -> np.ndarray:
-    """Bit array (length n, little-endian: entry q is bit q) for index ``x``."""
+    """Bit array (length n, little-endian: entry q is bit q) for index ``x``.
+
+    One shift/mask broadcast over ``np.arange`` (the same pattern the fast
+    diagonal kernels use) instead of a per-element Python loop.
+    """
     if x < 0 or x >= (1 << n):
         raise ValueError(f"index {x} out of range for {n} qubits")
-    return np.array([(x >> q) & 1 for q in range(n)], dtype=np.int64)
+    shifts = np.arange(n, dtype=np.uint64)
+    return ((np.uint64(x) >> shifts) & np.uint64(1)).astype(np.int64)
 
 
 def index_from_bits(bits: Sequence[int]) -> int:
     """Basis-state index for a little-endian bit sequence."""
-    x = 0
-    for q, b in enumerate(bits):
-        if b not in (0, 1):
-            raise ValueError(f"bit value {b!r} at position {q} is not 0/1")
-        x |= int(b) << q
-    return x
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise ValueError(f"bit sequence must be one-dimensional, got shape {arr.shape}")
+    bad = np.flatnonzero((arr != 0) & (arr != 1))
+    if bad.size:
+        q = int(bad[0])
+        raise ValueError(f"bit value {bits[q]!r} at position {q} is not 0/1")
+    if arr.shape[0] >= 64:
+        # uint64 shifts would overflow silently; arbitrary-precision path.
+        return sum(int(b) << q for q, b in enumerate(arr))
+    shifts = np.arange(arr.shape[0], dtype=np.uint64)
+    return int((arr.astype(np.uint64) << shifts).sum())
 
 
 def index_from_spins(spins: Sequence[int]) -> int:
     """Basis-state index for a ±1 spin sequence (spin +1 ↔ bit 0)."""
-    bits = []
-    for q, s in enumerate(spins):
-        if s == 1:
-            bits.append(0)
-        elif s == -1:
-            bits.append(1)
-        else:
-            raise ValueError(f"spin value {s!r} at position {q} is not ±1")
-    return index_from_bits(bits)
+    arr = np.asarray(spins)
+    if arr.ndim != 1:
+        raise ValueError(f"spin sequence must be one-dimensional, got shape {arr.shape}")
+    bad = np.flatnonzero((arr != 1) & (arr != -1))
+    if bad.size:
+        q = int(bad[0])
+        raise ValueError(f"spin value {spins[q]!r} at position {q} is not ±1")
+    return index_from_bits((1 - arr.astype(np.int64)) // 2)
 
 
 def evaluate_term(weight: float, indices: Sequence[int], spins: Sequence[int]) -> float:
-    """Evaluate a single term on a spin configuration."""
+    """Evaluate a single term on a spin configuration.
+
+    Terms hold only a handful of indices, so a scalar product loop beats any
+    per-term NumPy dispatch here; the vectorized bulk path is
+    :func:`brute_force_cost_vector`.
+    """
     prod = 1
     for i in indices:
         prod *= spins[i]
@@ -260,14 +275,17 @@ def evaluate_term(weight: float, indices: Sequence[int], spins: Sequence[int]) -
 
 def evaluate_terms_on_spins(terms: Iterable[tuple[float, Iterable[int]]],
                             spins: Sequence[int]) -> float:
-    """Evaluate the polynomial on a ±1 spin configuration (pure Python loop)."""
-    spins = list(spins)
-    for s in spins:
-        if s not in (1, -1):
-            raise ValueError(f"spin value {s!r} is not ±1")
+    """Evaluate the polynomial on a ±1 spin configuration (vectorized validation)."""
+    spins_arr = np.asarray(spins)
+    if spins_arr.ndim != 1:
+        raise ValueError(f"spin sequence must be one-dimensional, got shape {spins_arr.shape}")
+    bad = np.flatnonzero((spins_arr != 1) & (spins_arr != -1))
+    if bad.size:
+        raise ValueError(f"spin value {spins[int(bad[0])]!r} is not ±1")
+    spins_list = spins_arr.tolist()  # Python ints: fast scalar term products
     total = 0.0
     for w, idx in normalize_terms(terms):
-        total += evaluate_term(w, idx, spins)
+        total += evaluate_term(w, idx, spins_list)
     return total
 
 
