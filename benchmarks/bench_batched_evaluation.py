@@ -3,11 +3,12 @@
 
 The paper's headline result is end-to-end parameter-optimization speed:
 thousands of objective evaluations over the *same* precomputed diagonal.
-This benchmark measures the fused batch engines (``simulate_qaoa_batch`` /
-``get_expectation_batch`` overrides evolving a ``(B, 2^n)`` state block)
-against the looped base-class default, on the LABS workload the paper uses —
-and, per backend, the double-vs-single precision trade
-(``precision="single"``: complex64 state, half the bytes per amplitude).
+This benchmark measures the shared execution engine's fused path (a
+``(B, 2^n)`` state block evolved through all layers, see
+:mod:`repro.fur.engine`) against its looped path (``mode="looped"``), on the
+LABS workload the paper uses — and, per backend, the double-vs-single
+precision trade (``precision="single"``: complex64 state, half the bytes per
+amplitude).
 
 Usage::
 
@@ -16,11 +17,17 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_batched_evaluation.py --check   # assert >=3x
     PYTHONPATH=src python benchmarks/bench_batched_evaluation.py \
         --json BENCH_precision.json                           # machine-readable record
+    PYTHONPATH=src python benchmarks/bench_batched_evaluation.py \
+        --engine-report                        # BENCH_engine.json incl. distributed
 
 Full size is B=32 schedules, n=16 qubits, p=4 layers; ``--check`` fails the
 run unless the ``python`` backend's fused path is at least 3x faster than the
-looped default (the acceptance bar for the fused engine) and the
-single-precision expectations stay within the 1e-5 relative error envelope.
+looped default (the acceptance bar for the fused engine), the
+single-precision expectations stay within the 1e-5 relative error envelope,
+and (with ``--engine-report``) every distributed backend's fused path beats
+its looped default.  ``--engine-report`` additionally records the engine's
+plan-compile time, blocks executed and per-backend fused throughput —
+including the distributed families — in ``BENCH_engine.json``.
 """
 
 from __future__ import annotations
@@ -40,7 +47,7 @@ except ImportError:  # running without PYTHONPATH=src
     import repro
 
 from repro.fur import diagonal_cache
-from repro.fur.base import QAOAFastSimulatorBase, batch_block_rows
+from repro.fur.base import batch_block_rows
 from repro.problems import labs
 
 #: Required fused-vs-looped advantage on the ``python`` backend (--check).
@@ -60,25 +67,29 @@ def _best_of(callable_, repeats: int) -> float:
 
 
 def bench_backend(backend: str, terms, n: int, batch: int, p: int,
-                  repeats: int, rng: np.random.Generator) -> dict:
-    """Time fused vs looped ``get_expectation_batch`` for one backend."""
-    sim = repro.simulator(n, terms=terms, backend=backend)
+                  repeats: int, rng: np.random.Generator,
+                  simulator_kwargs: dict | None = None) -> dict:
+    """Time the engine's fused vs looped ``get_expectation_batch`` paths."""
+    sim = repro.simulator(n, terms=terms, backend=backend,
+                          **(simulator_kwargs or {}))
     gammas = rng.uniform(0.0, 1.0, (batch, p))
     betas = rng.uniform(0.0, 1.0, (batch, p))
 
     fused_values = sim.get_expectation_batch(gammas, betas)  # warm-up + result
-    looped_values = QAOAFastSimulatorBase.get_expectation_batch(sim, gammas, betas)
+    looped_values = sim.get_expectation_batch(gammas, betas, mode="looped")
     np.testing.assert_allclose(fused_values, looped_values, rtol=1e-10)
 
     fused = _best_of(lambda: sim.get_expectation_batch(gammas, betas), repeats)
     looped = _best_of(
-        lambda: QAOAFastSimulatorBase.get_expectation_batch(sim, gammas, betas),
+        lambda: sim.get_expectation_batch(gammas, betas, mode="looped"),
         repeats)
     record = {
         "backend": backend,
         "fused_s": fused,
         "looped_s": looped,
         "speedup": looped / fused,
+        "fused_schedules_per_s": batch / fused,
+        "engine": sim.engine.stats.as_dict(),
     }
     if backend == "gpu":
         record["modeled_device_s"] = sim.modeled_device_time()
@@ -162,6 +173,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="backends to benchmark")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write a machine-readable BENCH_precision.json record")
+    parser.add_argument("--engine-report", metavar="PATH", nargs="?",
+                        const="BENCH_engine.json", default=None,
+                        help="write a BENCH_engine.json execution-engine record "
+                             "(plan-compile time, blocks executed, fused "
+                             "throughput incl. the distributed backends)")
+    parser.add_argument("--distributed-backends", nargs="+",
+                        default=["gpumpi", "cusvmpi"],
+                        help="distributed backends for the engine report")
+    parser.add_argument("--n-ranks", type=int, default=4,
+                        help="virtual rank count for the distributed backends")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -196,6 +217,33 @@ def main(argv: list[str] | None = None) -> int:
               f"{rec['speedup']:>7.2f}x  {rec['memory_ratio']:>8.2f}x  "
               f"{rec['max_rel_err']:>12.2e}{extra}")
 
+    distributed_results = []
+    if args.engine_report:
+        print(f"\nExecution engine: distributed fused batch "
+              f"(n_ranks={args.n_ranks})")
+        print(f"{'backend':>8}  {'looped [s]':>11}  {'fused [s]':>11}  {'speedup':>8}")
+        for backend in args.distributed_backends:
+            rec = bench_backend(backend, terms, n, batch, p, repeats, rng,
+                                simulator_kwargs={"n_ranks": args.n_ranks})
+            rec["n_ranks"] = args.n_ranks
+            distributed_results.append(rec)
+            print(f"{rec['backend']:>8}  {rec['looped_s']:>11.3f}  "
+                  f"{rec['fused_s']:>11.3f}  {rec['speedup']:>7.2f}x")
+        compile_s = sum(r["engine"]["compile_time_s"]
+                        for r in results + distributed_results)
+        blocks = sum(r["engine"]["blocks_executed"]
+                     for r in results + distributed_results)
+        print(f"engine totals: {compile_s * 1e3:.3f} ms plan-compile, "
+              f"{blocks} blocks executed")
+        payload = {
+            "workload": {"problem": "labs", "n": n, "batch": batch, "p": p,
+                         "repeats": repeats, "smoke": bool(args.smoke)},
+            "backends": results,
+            "distributed": distributed_results,
+        }
+        Path(args.engine_report).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.engine_report}")
+
     cache = cache_metrics()
     print(f"\nDiagonal cache: {cache['hits']} hits, {cache['misses']} misses, "
           f"{cache['evictions']} evictions, {cache['entries']} entries, "
@@ -223,6 +271,15 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"OK: single-precision expectations within {SINGLE_PRECISION_RTOL:g} "
               "relative of double")
+    if args.check and distributed_results and not args.smoke:
+        slow = [r for r in distributed_results if r["speedup"] <= 1.0]
+        if slow:
+            print(f"FAIL: distributed fused path does not beat the looped "
+                  f"default: {[(r['backend'], r['speedup']) for r in slow]}",
+                  file=sys.stderr)
+            return 1
+        print("OK: distributed fused batch beats the looped default on every "
+              "distributed backend")
     if args.check and not args.smoke:
         python_recs = [r for r in results if r["backend"] == "python"]
         if not python_recs:

@@ -53,14 +53,25 @@ from .diagonal import (
     precompute_cost_diagonal_slice,
 )
 from .registry import (
+    ENTRY_POINT_GROUP,
     BackendRegistry,
     BackendSpec,
     available_backends,
     get_backend,
     get_simulator_class,
+    load_entry_point_backends,
     register_backend,
     registry,
     simulator,
+)
+from .engine import (
+    ExecutionEngine,
+    ExecutionPlan,
+    EngineStats,
+    ExpectationOp,
+    KernelProvider,
+    MixerOp,
+    PhaseOp,
 )
 from .cvect import (
     QAOAFURXSimulatorC,
@@ -109,6 +120,15 @@ __all__ = [
     "get_simulator_class",
     "simulator",
     "available_backends",
+    "load_entry_point_backends",
+    "ENTRY_POINT_GROUP",
+    "ExecutionEngine",
+    "ExecutionPlan",
+    "EngineStats",
+    "KernelProvider",
+    "PhaseOp",
+    "MixerOp",
+    "ExpectationOp",
     "SIMULATORS",
     "choose_simulator",
     "choose_simulator_xyring",
@@ -233,3 +253,11 @@ def choose_simulator_xycomplete(name: str = "auto") -> type[QAOAFastSimulatorBas
     """Deprecated: complete-graph-XY analogue of :func:`choose_simulator` (Listing 2)."""
     return _deprecated_chooser("xycomplete", name,
                                "repro.fur.get_simulator_class(name, mixer='xycomplete')")
+
+
+# Third-party backends advertised through the ``repro.fur.backends``
+# entry-point group register after the built-ins (a plugin clashing with a
+# built-in name is skipped with a warning, never the other way around).
+# This runs last so a plugin's spec-carrier module importing ``repro.fur``
+# sees the fully-initialized module, legacy chooser helpers included.
+load_entry_point_backends()

@@ -18,6 +18,15 @@ Backends differ in where the state vector lives (host NumPy array, simulated
 GPU device array, per-rank slices on the virtual cluster) and in how the mixer
 kernels are executed; they share the phase-operator and objective-evaluation
 logic, which is where the precomputed diagonal is reused.
+
+Batched evaluation (``simulate_qaoa_batch`` / ``get_expectation_batch``) is
+orchestrated entirely by the shared execution engine
+(:mod:`repro.fur.engine`): backends that implement the
+:class:`~repro.fur.engine.KernelProvider` protocol get the fused
+block-evolution path, everyone else the looped fallback.  The provider hooks
+(``_stage_block``, ``_apply_phase_block``, ``_apply_mixer_block``,
+``_block_expectations``, ...) declared here are the entire per-backend
+surface of that engine.
 """
 
 from __future__ import annotations
@@ -35,7 +44,6 @@ from .precision import PrecisionSpec, resolve_precision
 
 __all__ = [
     "QAOAFastSimulatorBase",
-    "FusedBatchEngineMixin",
     "uniform_superposition",
     "dicke_state",
     "validate_angles",
@@ -44,6 +52,15 @@ __all__ = [
     "DEFAULT_BATCH_MEMORY_BUDGET",
     "MAX_STATE_BYTES",
 ]
+
+
+def _readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A non-writeable view of ``arr`` (the array itself is left untouched)."""
+    if not arr.flags.writeable:
+        return arr
+    view = arr.view()
+    view.flags.writeable = False
+    return view
 
 #: Default memory budget (bytes) for the fused batch engines: the scratch a
 #: backend may spend on ``(B, 2^n)`` state blocks per sub-batch.  Larger
@@ -179,6 +196,14 @@ class QAOAFastSimulatorBase(abc.ABC):
     backend_name: str = "base"
     #: mixer implemented by this simulator class ("x", "xyring", "xycomplete")
     mixer_name: str = "x"
+    #: whether this class implements the execution engine's
+    #: :class:`~repro.fur.engine.KernelProvider` protocol — providers get the
+    #: fused batched evaluation path; everyone else falls back to the looped
+    #: default (still orchestrated by the engine)
+    supports_fused_engine: bool = False
+    #: whether the mixer consumes a ping-pong scratch block (set by the
+    #: gemm-grouped X mixers; XY mixers run in place through the workspace)
+    _mixer_needs_scratch: bool = False
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,
@@ -205,6 +230,8 @@ class QAOAFastSimulatorBase(abc.ABC):
         self._phase_costs_cache: np.ndarray | None = None
         self._phase_table_cache: DiagonalPhaseTable | None = None
         self._phase_table_built = False
+        #: lazily-constructed execution engine (plan cache lives on it)
+        self._execution_engine = None
         self._terms: list[Term] | None = None
         if terms is not None:
             self._terms = validate_terms(terms, self._n_qubits)
@@ -281,15 +308,20 @@ class QAOAFastSimulatorBase(abc.ABC):
         return self._precision.real_dtype
 
     def get_cost_diagonal(self) -> np.ndarray:
-        """The precomputed cost vector as a host float64 array.
+        """The precomputed cost vector as a **read-only** host float64 array.
 
-        When the diagonal came from the process-wide cache the returned array
-        is **read-only and shared** across simulators of the same problem —
-        copy before mutating (``diag.copy()``).
+        The returned array is always non-writeable: it may be shared with the
+        process-wide diagonal cache (and with every other simulator of the
+        same problem), with the engine's plan caches, or alias a
+        caller-provided ``costs`` array — so a silent in-place mutation would
+        corrupt state far beyond this simulator.  Copy before mutating
+        (``diag.copy()``).
         """
         if isinstance(self._hamiltonian_host, CompressedDiagonal):
-            return self._hamiltonian_host.decompress()
-        return np.asarray(self._hamiltonian_host)
+            diag = self._hamiltonian_host.decompress()
+            diag.flags.writeable = False
+            return diag
+        return _readonly_view(np.asarray(self._hamiltonian_host))
 
     def _default_costs(self) -> np.ndarray:
         """The resolved float64 default diagonal, decompressed at most once.
@@ -334,6 +366,20 @@ class QAOAFastSimulatorBase(abc.ABC):
             self._phase_table_built = True
         return self._phase_table_cache
 
+    # -- the execution engine ------------------------------------------------
+    @property
+    def engine(self):
+        """The per-simulator :class:`~repro.fur.engine.ExecutionEngine`.
+
+        Constructed lazily on first use; its compiled-plan cache lives next
+        to the resolved-diagonal and phase-table caches of this simulator.
+        """
+        if self._execution_engine is None:
+            from .engine import ExecutionEngine  # deferred: engine imports base
+
+            self._execution_engine = ExecutionEngine(self)
+        return self._execution_engine
+
     # -- simulation ----------------------------------------------------------
     @abc.abstractmethod
     def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
@@ -347,52 +393,102 @@ class QAOAFastSimulatorBase(abc.ABC):
                             betas_batch: Sequence[Sequence[float]] | np.ndarray,
                             sv0: np.ndarray | None = None, *,
                             memory_budget: float | None = None,
+                            mode: str = "auto",
                             **kwargs: Any) -> list[Any]:
         """Simulate a batch of (γ, β) schedules over the same problem.
 
         The batches are ``(B, p)`` shaped; entry ``i`` of the returned list is
-        the backend result object for schedule ``i``.  The default
-        implementation loops over :meth:`simulate_qaoa` — the win is that the
-        precomputed diagonal, workspaces and device buffers are shared across
-        the whole batch, which is the access pattern of population-based
-        optimizers and parameter grid scans.
-
-        The ``python``, ``c`` and ``gpu`` backends override this with a fused
-        engine that evolves a ``(B, 2^n)`` state block through all layers at
-        once; ``memory_budget`` (bytes, default
-        :data:`DEFAULT_BATCH_MEMORY_BUDGET`) bounds the block scratch by
-        splitting large batches into sub-batches.  The default loop never
-        materializes a block, so it accepts and ignores the budget.
+        the backend result object for schedule ``i``.  All orchestration is
+        delegated to the shared execution engine: backends implementing the
+        :class:`~repro.fur.engine.KernelProvider` protocol evolve ``(B, 2^n)``
+        state blocks through all layers at once (``memory_budget`` bounds the
+        block scratch by splitting large batches into sub-batches); everyone
+        else gets the looped fallback, which shares the precomputed diagonal,
+        workspaces and device buffers across the batch but holds one state at
+        a time.  ``mode`` forces ``"fused"`` or ``"looped"`` explicitly
+        (``"auto"`` picks fused whenever the backend provides kernels).
         """
-        del memory_budget  # the looped default holds one state at a time
-        g, b = validate_angle_batches(gammas_batch, betas_batch)
-        return [self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
-                for gi, bi in zip(g, b)]
+        return self.engine.simulate_batch(gammas_batch, betas_batch, sv0=sv0,
+                                          memory_budget=memory_budget,
+                                          mode=mode, **kwargs)
 
     def get_expectation_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
                               betas_batch: Sequence[Sequence[float]] | np.ndarray,
                               costs: np.ndarray | CompressedDiagonal | None = None,
                               sv0: np.ndarray | None = None, *,
                               memory_budget: float | None = None,
+                              mode: str = "auto",
                               **kwargs: Any) -> np.ndarray:
         """Objective values for a batch of schedules, as a length-``B`` array.
 
         Unlike :meth:`simulate_qaoa_batch` this never keeps the evolved
-        states: each schedule is reduced to ``<γβ|Ĉ|γβ>`` immediately.  The
-        diagonal is resolved exactly once for the whole batch — resolving
-        per element would decompress/validate a 2^n vector ``B`` times.
-        Fused overrides honour ``memory_budget`` as in
-        :meth:`simulate_qaoa_batch`; the default loop ignores it.
+        states: each schedule is reduced to ``<γβ|Ĉ|γβ>`` immediately, with
+        the diagonal resolved to float64 exactly once for the whole batch and
+        expectations accumulated in float64 regardless of the state precision
+        (the engine-wide policy).  See :meth:`simulate_qaoa_batch` for the
+        fused/looped ``mode`` semantics.
         """
-        del memory_budget  # the looped default holds one state at a time
-        g, b = validate_angle_batches(gammas_batch, betas_batch)
-        resolved = self._resolve_costs(costs)
-        out = np.empty(g.shape[0], dtype=np.float64)
-        for i, (gi, bi) in enumerate(zip(g, b)):
-            result = self.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
-            out[i] = self.get_expectation(result, costs=resolved,
-                                          preserve_state=False)
-        return out
+        return self.engine.expectation_batch(gammas_batch, betas_batch,
+                                             costs=costs, sv0=sv0,
+                                             memory_budget=memory_budget,
+                                             mode=mode, **kwargs)
+
+    # -- kernel-provider hooks (engine-driven; see repro.fur.engine) ---------
+    def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
+        """Rows of the next fused sub-batch under the memory budget.
+
+        Called by the engine once per sub-batch with the *remaining* schedule
+        count, so backends whose per-row results stay resident (device
+        arrays) can re-derive capacity as rows accumulate.
+        """
+        blocks = 2 if self._mixer_needs_scratch else 1
+        return batch_block_rows(remaining, self._n_states, memory_budget,
+                                blocks=blocks,
+                                itemsize=self._precision.complex_itemsize)
+
+    def _engine_phase_tables(self) -> Any:
+        """Phase-table object(s) stored in compiled plans (provider-specific).
+
+        The default is the simulator-level unique-value
+        :class:`~repro.fur.diagonal.DiagonalPhaseTable` (or ``None`` when the
+        diagonal is not repetitive enough); the distributed families override
+        this with a tuple of per-rank-slice tables.
+        """
+        return self._diagonal_phase_table()
+
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> Any:
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} does not implement the fused "
+            "kernel-provider protocol"
+        )
+
+    def _mixer_scratch(self, block: Any) -> Any:
+        """Per-sub-batch ping-pong scratch (providers with scratch mixers override)."""
+        return None
+
+    def _apply_phase_block(self, block: Any, gammas: np.ndarray, plan: Any) -> None:
+        raise NotImplementedError
+
+    def _apply_mixer_block(self, block: Any, betas: np.ndarray,
+                           n_trotters: int, scratch: Any) -> None:
+        raise NotImplementedError
+
+    def _block_expectations(self, block: Any, costs: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    def _block_results(self, block: Any) -> list[Any]:
+        """Per-schedule result objects of an evolved block (default: rows)."""
+        return list(block)
+
+    def _release_block(self, block: Any) -> None:
+        """Free a block after its reduction (no-op for host blocks)."""
+
+    def _stage_batch_costs(self, resolved: np.ndarray) -> Any:
+        """Stage the batch diagonal (device backends upload it here)."""
+        return resolved
+
+    def _release_batch_costs(self, staged: Any) -> None:
+        """Release a staged batch diagonal (no-op for host arrays)."""
 
     # -- output methods (always return CPU values) ---------------------------
     @abc.abstractmethod
@@ -503,101 +599,3 @@ class QAOAFastSimulatorBase(abc.ABC):
         return (f"{type(self).__name__}(n_qubits={self._n_qubits}, "
                 f"backend={self.backend_name!r}, mixer={self.mixer_name!r}, "
                 f"precision={self.precision!r})")
-
-
-class FusedBatchEngineMixin:
-    """Shared sub-batching driver for backends with a fused batch engine.
-
-    Inherit *before* :class:`QAOAFastSimulatorBase` and implement
-
-    * ``_evolve_block(g_sub, b_sub, sv0, n_trotters)`` — evolve a
-      ``(rows, 2^n)`` sub-batch through all layers and return the backend's
-      block object;
-    * ``_block_expectations(block, resolved_costs)`` — reduce a block to one
-      objective value per row;
-
-    and optionally override ``_block_results`` (split a block into per-row
-    result objects; defaults to iterating the block) and ``_batch_rows``
-    (sub-batch sizing; called once per sub-batch with the *remaining*
-    schedule count, so backends whose results stay resident — e.g. device
-    arrays — can re-derive capacity as rows accumulate).
-
-    The mixin supplies the public ``simulate_qaoa_batch`` /
-    ``get_expectation_batch`` drivers: validation, single diagonal
-    resolution, memory-budget sub-batch splitting, and the drive loop.
-    """
-
-    #: whether the mixer consumes a ping-pong scratch block (set by the
-    #: gemm-grouped X mixers; XY mixers run in place through the workspace)
-    _mixer_needs_scratch: bool = False
-
-    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
-                      sv0: np.ndarray | None, n_trotters: int) -> Any:
-        raise NotImplementedError
-
-    def _block_expectations(self, block: Any, resolved: np.ndarray) -> np.ndarray:
-        raise NotImplementedError
-
-    def _block_results(self, block: Any) -> list[Any]:
-        """Per-schedule result objects of an evolved block (default: rows)."""
-        return list(block)
-
-    def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
-        blocks = 2 if self._mixer_needs_scratch else 1
-        return batch_block_rows(remaining, self._n_states, memory_budget,
-                                blocks=blocks,
-                                itemsize=self._precision.complex_itemsize)
-
-    def simulate_qaoa_batch(self, gammas_batch, betas_batch,
-                            sv0: np.ndarray | None = None, *,
-                            n_trotters: int = 1,
-                            memory_budget: float | None = None,
-                            **kwargs: Any) -> list[Any]:
-        """Fused batch simulation: evolve ``(B, 2^n)`` state blocks.
-
-        Returns one backend result object per schedule.  ``memory_budget``
-        (bytes) bounds the block scratch — larger batches are transparently
-        split into sub-batches that fit.
-        """
-        if kwargs:
-            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
-        if n_trotters < 1:
-            raise ValueError("n_trotters must be at least 1")
-        g, b = validate_angle_batches(gammas_batch, betas_batch)
-        results: list[Any] = []
-        r0 = 0
-        while r0 < g.shape[0]:
-            r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
-                     g.shape[0])
-            block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
-            results.extend(self._block_results(block))
-            r0 = r1
-        return results
-
-    def get_expectation_batch(self, gammas_batch, betas_batch,
-                              costs: np.ndarray | CompressedDiagonal | None = None,
-                              sv0: np.ndarray | None = None, *,
-                              n_trotters: int = 1,
-                              memory_budget: float | None = None,
-                              **kwargs: Any) -> np.ndarray:
-        """Fused batched objective: evolve a block, reduce every row at once.
-
-        The diagonal is resolved exactly once for the whole batch; evolved
-        blocks are discarded after their reduction, so peak memory follows
-        the budget, not the batch size.
-        """
-        if kwargs:
-            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
-        if n_trotters < 1:
-            raise ValueError("n_trotters must be at least 1")
-        g, b = validate_angle_batches(gammas_batch, betas_batch)
-        resolved = self._resolve_costs(costs)
-        out = np.empty(g.shape[0], dtype=np.float64)
-        r0 = 0
-        while r0 < g.shape[0]:
-            r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
-                     g.shape[0])
-            block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
-            out[r0:r1] = self._block_expectations(block, resolved)
-            r0 = r1
-        return out

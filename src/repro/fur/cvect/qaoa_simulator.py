@@ -6,6 +6,11 @@ simulator owns a :class:`~repro.fur.cvect.kernels.KernelWorkspace` that is
 reused across layers and across repeated objective evaluations, which is the
 dominant usage pattern during QAOA parameter optimization (Fig. 1 of the
 paper).
+
+Batched evaluation is orchestrated by the shared execution engine
+(:mod:`repro.fur.engine`); this module only implements the
+:class:`~repro.fur.engine.KernelProvider` hooks over the zero-allocation
+batched blocked kernels.
 """
 
 from __future__ import annotations
@@ -15,11 +20,7 @@ from typing import Any
 
 import numpy as np
 
-from ..base import (
-    FusedBatchEngineMixin,
-    QAOAFastSimulatorBase,
-    validate_angles,
-)
+from ..base import QAOAFastSimulatorBase, validate_angles
 from .kernels import (
     DEFAULT_BLOCK_SIZE,
     KernelWorkspace,
@@ -42,10 +43,11 @@ __all__ = [
 ]
 
 
-class _QAOAFURCSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
+class _QAOAFURCSimulatorBase(QAOAFastSimulatorBase):
     """Shared blocked-kernel simulation loop; subclasses supply the mixer."""
 
     backend_name = "c"
+    supports_fused_engine = True
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  block_size: int = DEFAULT_BLOCK_SIZE,
@@ -84,35 +86,27 @@ class _QAOAFURCSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
-    # -- fused batched evaluation --------------------------------------------
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
-                           n_trotters: int, scratch: np.ndarray | None) -> None:
-        raise NotImplementedError
-
-    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
-                      sv0: np.ndarray | None, n_trotters: int) -> np.ndarray:
-        """Evolve a ``(rows, 2^n)`` block through all layers.
-
-        The phase operator runs through the zero-allocation batched kernel
-        (workspace scratch, unique-value phase table when available).  The
-        ping-pong scratch block for the gemm-grouped X mixer is allocated
-        once per sub-batch and amortized over all ``p`` layers; XY mixers
-        run in place and skip it.
-        """
-        rows = g_sub.shape[0]
+    # -- kernel-provider hooks (driven by repro.fur.engine) -------------------
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
         sv = self._validate_sv0(sv0)
-        block = np.repeat(sv[None, :], rows, axis=0)
-        scratch = np.empty_like(block) if self._mixer_needs_scratch else None
-        table = self._diagonal_phase_table()
-        phase_costs = self._phase_costs()
-        for layer in range(g_sub.shape[1]):
-            apply_phase_batch_inplace(block, phase_costs, g_sub[:, layer],
-                                      self._workspace, phase_table=table)
-            self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
-        return block
+        return np.repeat(sv[None, :], rows, axis=0)
 
-    def _block_expectations(self, block: np.ndarray, resolved: np.ndarray) -> np.ndarray:
-        return expectation_batch_inplace(block, resolved, self._workspace)
+    def _mixer_scratch(self, block: np.ndarray) -> np.ndarray:
+        return np.empty_like(block)
+
+    def _apply_phase_block(self, block: np.ndarray, gammas: np.ndarray,
+                           plan: Any) -> None:
+        """Batched phase sweep through the zero-allocation blocked kernel.
+
+        The plan carries the pre-resolved unique-value phase table (or
+        ``None``, in which case the kernel evaluates ``exp`` into the
+        workspace scratch chunk by chunk).
+        """
+        apply_phase_batch_inplace(block, self._phase_costs(), gammas,
+                                  self._workspace, phase_table=plan.phase_tables)
+
+    def _block_expectations(self, block: np.ndarray, costs: np.ndarray) -> np.ndarray:
+        return expectation_batch_inplace(block, costs, self._workspace)
 
     # -- output methods ------------------------------------------------------
     def get_statevector(self, result: np.ndarray, **kwargs: Any) -> np.ndarray:
@@ -140,7 +134,7 @@ class QAOAFURXSimulatorC(_QAOAFURCSimulatorBase):
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         furx_all_blocked(sv, beta, self._n_qubits, self._workspace)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         # The gemm-grouped batch kernel beats per-qubit pair sweeps by ~4x on
         # cache-spilling blocks; it ping-pongs through the per-sub-batch
@@ -159,7 +153,7 @@ class QAOAFURXYRingSimulatorC(_QAOAFURCSimulatorBase):
             for i, j in ring_edges(self._n_qubits):
                 furxy_blocked(sv, beta / n_trotters, i, j, self._workspace)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             for i, j in ring_edges(self._n_qubits):
@@ -176,7 +170,7 @@ class QAOAFURXYCompleteSimulatorC(_QAOAFURCSimulatorBase):
             for i, j in complete_edges(self._n_qubits):
                 furxy_blocked(sv, beta / n_trotters, i, j, self._workspace)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             for i, j in complete_edges(self._n_qubits):

@@ -379,8 +379,12 @@ def build_phase_table(costs: np.ndarray, *,
     unique, inverse = np.unique(arr, return_inverse=True)
     if unique.size > max(2, int(arr.size * max_unique_fraction)):
         return None
-    return DiagonalPhaseTable(unique_values=unique,
-                              inverse=np.ascontiguousarray(inverse, dtype=np.intp))
+    inverse = np.ascontiguousarray(inverse, dtype=np.intp)
+    # Tables are cached on simulators and inside compiled execution plans and
+    # shared by every evaluation — read-only, like the diagonal cache.
+    unique.setflags(write=False)
+    inverse.setflags(write=False)
+    return DiagonalPhaseTable(unique_values=unique, inverse=inverse)
 
 
 def diagonal_memory_bytes(n_qubits: int, dtype: np.dtype | type = np.float64) -> int:

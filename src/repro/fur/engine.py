@@ -1,0 +1,417 @@
+"""Layered execution-plan engine shared by every simulator backend.
+
+Before this module existed, the orchestration of batched QAOA evaluation —
+layer sequencing, phase-table reuse, memory-budgeted sub-batch splitting,
+scratch-block lifetime and the float64 accumulation policy — was
+re-implemented once per backend family (a ``FusedBatchEngineMixin`` plus three
+per-backend fused loops), and the distributed backends were left on the slow
+looped default.  The engine extracts that orchestration into exactly one
+place:
+
+* a ``(p, mixer, precision, n_trotters, batch-memory-budget)`` tuple is
+  *compiled* into an :class:`ExecutionPlan` — a declarative sequence of layer
+  ops (:class:`PhaseOp`, :class:`MixerOp`, terminated by an
+  :class:`ExpectationOp` when the batch is reduced to objective values) plus
+  the resolved phase tables;
+* plans are cached per simulator (next to the resolved-diagonal/phase-table
+  caches the base class already keeps), so repeated evaluation at the same
+  depth — the Fig. 2 optimization loop — pays for exactly one compilation;
+* execution walks the op list over ``(rows, 2^n)`` state blocks, splitting
+  batches that exceed the memory budget into sub-batches and reusing one
+  mixer scratch block per sub-batch;
+* backends participate through the narrow :class:`KernelProvider` protocol
+  (stage a block, apply one phase/mixer layer to it, reduce it, split it,
+  release it) — a new backend, mixer or device is a ~100-line kernel
+  provider, never a fourth copy of the orchestration loop.
+
+The engine also owns the *looped* path (one :meth:`simulate_qaoa` call per
+schedule) used by backends that do not implement the provider protocol, and
+exposed explicitly via ``mode="looped"`` for benchmarking the fused engines
+against their baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from .base import validate_angle_batches
+from .diagonal import CompressedDiagonal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .base import QAOAFastSimulatorBase
+
+__all__ = [
+    "PhaseOp",
+    "MixerOp",
+    "ExpectationOp",
+    "ExecutionPlan",
+    "EngineStats",
+    "KernelProvider",
+    "ExecutionEngine",
+    "EXECUTION_MODES",
+]
+
+#: Accepted values of the ``mode`` argument of the batched entry points.
+EXECUTION_MODES = ("auto", "fused", "looped")
+
+
+# ---------------------------------------------------------------------------
+# Declarative layer ops.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PhaseOp:
+    """Apply ``exp(-i γ_l C)`` — one phase sweep of layer ``layer``."""
+
+    layer: int
+
+
+@dataclass(frozen=True)
+class MixerOp:
+    """Apply ``exp(-i β_l M)`` — one mixer sweep of layer ``layer``."""
+
+    layer: int
+    n_trotters: int = 1
+
+
+@dataclass(frozen=True)
+class ExpectationOp:
+    """Reduce every block row to ``Σ_x c[x] |ψ_x|²`` (float64 accumulation)."""
+
+
+def _plan_key(p: int, n_trotters: int, memory_budget: float | None,
+              reduce: bool, precision: str) -> tuple:
+    """The plan-cache key — the single definition shared by the engine's
+    cache lookup and :attr:`ExecutionPlan.key`."""
+    return (int(p), int(n_trotters), memory_budget, bool(reduce), precision)
+
+
+# ---------------------------------------------------------------------------
+# Plans and statistics.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled, cacheable recipe for evaluating batches of QAOA schedules.
+
+    The plan is declarative: :attr:`ops` is the exact sequence of layer
+    operations the engine will drive through the owning simulator's kernel
+    provider, and everything resolved at compile time (the phase tables, the
+    memory budget) rides along so execution touches no caches.
+    """
+
+    #: number of QAOA layers p
+    p: int
+    #: mixer family of the owning simulator ("x", "xyring", "xycomplete")
+    mixer: str
+    #: simulation precision name of the owning simulator
+    precision: str
+    #: Trotter slices per mixer application (XY mixers)
+    n_trotters: int
+    #: memory budget (bytes) for block scratch; ``None`` = backend default
+    memory_budget: float | None
+    #: whether the plan ends in an objective reduction (ExpectationOp)
+    reduce: bool
+    #: the declarative op sequence executed per sub-batch
+    ops: tuple[PhaseOp | MixerOp | ExpectationOp, ...]
+    #: provider-specific phase-table object(s) resolved at compile time
+    #: (a :class:`~repro.fur.diagonal.DiagonalPhaseTable` for single-address-
+    #: space backends, a per-rank tuple for the distributed families, or
+    #: ``None`` when the diagonal is not repetitive enough)
+    phase_tables: Any
+    #: wall-clock seconds spent compiling this plan (includes the first
+    #: phase-table build when it was not already cached on the simulator)
+    compile_time_s: float
+
+    @property
+    def key(self) -> tuple:
+        """The cache key this plan is stored under."""
+        return _plan_key(self.p, self.n_trotters, self.memory_budget,
+                         self.reduce, self.precision)
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine's activity (feeds ``--engine-report``)."""
+
+    plan_compiles: int = 0
+    plan_cache_hits: int = 0
+    compile_time_s: float = 0.0
+    blocks_executed: int = 0
+    rows_executed: int = 0
+    looped_evaluations: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot for JSON reports."""
+        return {
+            "plan_compiles": self.plan_compiles,
+            "plan_cache_hits": self.plan_cache_hits,
+            "compile_time_s": self.compile_time_s,
+            "blocks_executed": self.blocks_executed,
+            "rows_executed": self.rows_executed,
+            "looped_evaluations": self.looped_evaluations,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The kernel-provider protocol backends implement.
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class KernelProvider(Protocol):
+    """The per-backend surface the execution engine drives.
+
+    A backend opts into the fused engine by setting
+    ``supports_fused_engine = True`` on its simulator class and implementing
+    these hooks.  ``block`` is an opaque backend object — a host ``(rows,
+    2^n)`` ndarray, a device-resident block, or a list of per-rank slice
+    blocks for the distributed families; the engine never looks inside it.
+    """
+
+    #: providers set this to ``True``; the base class default is ``False``
+    supports_fused_engine: bool
+    #: whether the mixer consumes a ping-pong scratch block
+    _mixer_needs_scratch: bool
+
+    def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
+        """Rows of the next sub-batch (re-derived as device results accumulate)."""
+        ...
+
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> Any:
+        """Materialize (and, for device backends, upload) a ``rows``-row block."""
+        ...
+
+    def _mixer_scratch(self, block: Any) -> Any:
+        """Allocate the per-sub-batch ping-pong scratch for the mixer."""
+        ...
+
+    def _apply_phase_block(self, block: Any, gammas: np.ndarray,
+                           plan: ExecutionPlan) -> None:
+        """One phase sweep over the block (``plan.phase_tables`` pre-resolved)."""
+        ...
+
+    def _apply_mixer_block(self, block: Any, betas: np.ndarray,
+                           n_trotters: int, scratch: Any) -> None:
+        """One mixer sweep over the block."""
+        ...
+
+    def _block_expectations(self, block: Any, costs: Any) -> np.ndarray:
+        """Per-row objective values (float64) against a staged diagonal."""
+        ...
+
+    def _block_results(self, block: Any) -> list[Any]:
+        """Split a block into per-schedule backend result objects."""
+        ...
+
+    def _release_block(self, block: Any) -> None:
+        """Free a block after its reduction (device backends)."""
+        ...
+
+    def _stage_batch_costs(self, resolved: np.ndarray) -> Any:
+        """Stage a resolved float64 diagonal for the whole batch (device hook)."""
+        ...
+
+    def _release_batch_costs(self, staged: Any) -> None:
+        """Release a diagonal staged by :meth:`_stage_batch_costs`."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# The engine.
+# ---------------------------------------------------------------------------
+
+class ExecutionEngine:
+    """Compiles and executes :class:`ExecutionPlan`\\ s for one simulator.
+
+    One engine is owned (lazily) by each simulator instance; its plan cache
+    lives alongside the simulator's resolved-diagonal and phase-table caches
+    and shares their lifetime.  All batched evaluation of every backend
+    routes through :meth:`simulate_batch` / :meth:`expectation_batch`.
+    """
+
+    def __init__(self, simulator: QAOAFastSimulatorBase) -> None:
+        self._sim = simulator
+        self._plans: dict[tuple, ExecutionPlan] = {}
+        self.stats = EngineStats()
+
+    # -- plan compilation ----------------------------------------------------
+    @property
+    def simulator(self) -> QAOAFastSimulatorBase:
+        """The simulator this engine drives."""
+        return self._sim
+
+    def plan_cache_size(self) -> int:
+        """Number of compiled plans currently cached."""
+        return len(self._plans)
+
+    def clear_plans(self) -> None:
+        """Drop every cached plan (the next evaluation recompiles)."""
+        self._plans.clear()
+
+    def plan(self, p: int, *, n_trotters: int = 1,
+             memory_budget: float | None = None,
+             reduce: bool = True) -> ExecutionPlan:
+        """The cached plan for a depth/budget tuple, compiling on first use.
+
+        The cache key includes the simulator precision, so tests can assert
+        that a precision change (a new simulator) or a ``p``/``n_trotters``/
+        budget change recompiles while repeated evaluation at the same shape
+        hits the cache.
+        """
+        if p <= 0:
+            raise ValueError("p must be positive")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        key = _plan_key(p, n_trotters, memory_budget, reduce,
+                        self._sim.precision)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.stats.plan_cache_hits += 1
+            return cached
+        start = time.perf_counter()
+        ops: list[PhaseOp | MixerOp | ExpectationOp] = []
+        for layer in range(p):
+            ops.append(PhaseOp(layer=layer))
+            ops.append(MixerOp(layer=layer, n_trotters=int(n_trotters)))
+        if reduce:
+            ops.append(ExpectationOp())
+        # Resolving the phase tables here (rather than per sub-batch) makes
+        # the first compile pay the one-time unique-value factorization; the
+        # simulator-level cache makes subsequent compiles near-free.
+        tables = (self._sim._engine_phase_tables()
+                  if self._sim.supports_fused_engine else None)
+        plan = ExecutionPlan(
+            p=int(p),
+            mixer=self._sim.mixer_name,
+            precision=self._sim.precision,
+            n_trotters=int(n_trotters),
+            memory_budget=memory_budget,
+            reduce=bool(reduce),
+            ops=tuple(ops),
+            phase_tables=tables,
+            compile_time_s=time.perf_counter() - start,
+        )
+        self._plans[key] = plan
+        self.stats.plan_compiles += 1
+        self.stats.compile_time_s += plan.compile_time_s
+        return plan
+
+    # -- mode resolution -----------------------------------------------------
+    def _resolve_mode(self, mode: str) -> str:
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        if mode == "auto":
+            return "fused" if self._sim.supports_fused_engine else "looped"
+        if mode == "fused" and not self._sim.supports_fused_engine:
+            raise ValueError(
+                f"backend {self._sim.backend_name!r} does not implement the "
+                "fused kernel-provider protocol; use mode='looped' or 'auto'"
+            )
+        return mode
+
+    @staticmethod
+    def _fused_kwargs(kwargs: dict) -> int:
+        """Extract ``n_trotters`` from the fused path's kwargs, reject the rest."""
+        n_trotters = kwargs.pop("n_trotters", 1)
+        if kwargs:
+            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
+        if n_trotters < 1:
+            raise ValueError("n_trotters must be at least 1")
+        return int(n_trotters)
+
+    # -- execution -----------------------------------------------------------
+    def _run_ops(self, plan: ExecutionPlan, g_sub: np.ndarray, b_sub: np.ndarray,
+                 sv0: np.ndarray | None, staged_costs: Any) -> tuple[Any, np.ndarray | None]:
+        """Drive one sub-batch block through the plan's op sequence."""
+        sim = self._sim
+        block = sim._stage_block(sv0, g_sub.shape[0])
+        scratch = sim._mixer_scratch(block) if sim._mixer_needs_scratch else None
+        values: np.ndarray | None = None
+        for op in plan.ops:
+            if isinstance(op, PhaseOp):
+                sim._apply_phase_block(block, g_sub[:, op.layer], plan)
+            elif isinstance(op, MixerOp):
+                sim._apply_mixer_block(block, b_sub[:, op.layer],
+                                       op.n_trotters, scratch)
+            else:  # ExpectationOp
+                values = sim._block_expectations(block, staged_costs)
+        self.stats.blocks_executed += 1
+        self.stats.rows_executed += int(g_sub.shape[0])
+        return block, values
+
+    def _sub_batches(self, batch: int, memory_budget: float | None):
+        """Yield ``(r0, r1)`` sub-batch bounds honouring the memory budget.
+
+        The provider's :meth:`~KernelProvider._batch_rows` is consulted once
+        per sub-batch with the *remaining* schedule count, so device backends
+        whose per-row results stay resident can shrink later sub-batches as
+        memory fills.
+        """
+        r0 = 0
+        while r0 < batch:
+            rows = self._sim._batch_rows(batch - r0, memory_budget)
+            yield r0, min(r0 + rows, batch)
+            r0 = min(r0 + rows, batch)
+
+    def simulate_batch(self, gammas_batch, betas_batch,
+                       sv0: np.ndarray | None = None, *,
+                       memory_budget: float | None = None,
+                       mode: str = "auto", **kwargs: Any) -> list[Any]:
+        """Evolve a batch of schedules; one backend result object per schedule."""
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        if self._resolve_mode(mode) == "looped":
+            self.stats.looped_evaluations += g.shape[0]
+            return [self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
+                    for gi, bi in zip(g, b)]
+        n_trotters = self._fused_kwargs(kwargs)
+        plan = self.plan(g.shape[1], n_trotters=n_trotters,
+                         memory_budget=memory_budget, reduce=False)
+        results: list[Any] = []
+        for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
+            block, _ = self._run_ops(plan, g[r0:r1], b[r0:r1], sv0, None)
+            results.extend(self._sim._block_results(block))
+        return results
+
+    def expectation_batch(self, gammas_batch, betas_batch,
+                          costs: np.ndarray | CompressedDiagonal | None = None,
+                          sv0: np.ndarray | None = None, *,
+                          memory_budget: float | None = None,
+                          mode: str = "auto", **kwargs: Any) -> np.ndarray:
+        """Objective values for a batch of schedules, as a length-``B`` array.
+
+        The diagonal is resolved to float64 exactly once for the whole batch
+        (the engine-wide accumulation policy); evolved blocks are released
+        after their reduction, so peak memory follows the budget, not the
+        batch size.
+        """
+        g, b = validate_angle_batches(gammas_batch, betas_batch)
+        resolved = self._sim._resolve_costs(costs)
+        if self._resolve_mode(mode) == "looped":
+            self.stats.looped_evaluations += g.shape[0]
+            out = np.empty(g.shape[0], dtype=np.float64)
+            for i, (gi, bi) in enumerate(zip(g, b)):
+                result = self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
+                out[i] = self._sim.get_expectation(result, costs=resolved,
+                                                  preserve_state=False)
+            return out
+        n_trotters = self._fused_kwargs(kwargs)
+        plan = self.plan(g.shape[1], n_trotters=n_trotters,
+                         memory_budget=memory_budget, reduce=True)
+        out = np.empty(g.shape[0], dtype=np.float64)
+        staged = self._sim._stage_batch_costs(resolved)
+        try:
+            for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
+                block, values = self._run_ops(plan, g[r0:r1], b[r0:r1], sv0, staged)
+                try:
+                    out[r0:r1] = values
+                finally:
+                    self._sim._release_block(block)
+        finally:
+            self._sim._release_batch_costs(staged)
+        return out

@@ -41,9 +41,17 @@ import numpy as np
 
 from ...parallel.collectives import ALLTOALL_ALGORITHMS, TrafficTrace, alltoall
 from ..base import QAOAFastSimulatorBase, validate_angles
-from ..cvect.kernels import DEFAULT_BLOCK_SIZE, KernelWorkspace, apply_phase_inplace, apply_su2_blocked
-from ..diagonal import precompute_cost_diagonal_slice
-from ..python.furx import su2_x_rotation
+from ..cvect.kernels import (
+    DEFAULT_BLOCK_SIZE,
+    KernelWorkspace,
+    apply_phase_batch_inplace,
+    apply_phase_inplace,
+    apply_su2_batch_blocked,
+    apply_su2_blocked,
+    expectation_batch_inplace,
+)
+from ..diagonal import build_phase_table, precompute_cost_diagonal_slice
+from ..python.furx import su2_x_rotation, su2_x_rotation_batch
 
 __all__ = [
     "DistributedStateVector",
@@ -70,9 +78,20 @@ class DistributedStateVector:
 
 
 class _DistributedFURXBase(QAOAFastSimulatorBase):
-    """Shared distributed simulation logic; subclasses supply the global-qubit step."""
+    """Shared distributed simulation logic; subclasses supply the global-qubit step.
+
+    The class implements the execution engine's
+    :class:`~repro.fur.engine.KernelProvider` protocol over *per-rank slice
+    blocks* (a list of ``(rows, 2^n−k)`` arrays, one per rank), so batched
+    evaluation of the distributed backends is fused exactly like the
+    single-address-space families: local phase and SU(2) sweeps are batched
+    across all schedules per rank, and the global-qubit communication step is
+    batched per strategy (one larger exchange instead of one per schedule
+    where the algorithm allows it).
+    """
 
     mixer_name = "x"
+    supports_fused_engine = True
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  n_ranks: int = 4, block_size: int = DEFAULT_BLOCK_SIZE,
@@ -175,6 +194,102 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
     def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
         """Rotations on the k global qubits — strategy-specific (communication)."""
         raise NotImplementedError
+
+    # -- kernel-provider hooks (driven by repro.fur.engine) ----------------------------
+    def _engine_phase_tables(self) -> tuple:
+        """Per-rank unique-value phase tables over the local diagonal slices.
+
+        Built lazily on first plan compile and cached for the simulator's
+        lifetime (alongside the slice-local diagonals); an entry is ``None``
+        when that rank's slice is not repetitive enough for the gather to pay
+        off, in which case the batched phase kernel falls back to the direct
+        ``exp`` path for that rank.
+        """
+        tables = getattr(self, "_phase_table_slices", None)
+        if tables is None:
+            tables = tuple(build_phase_table(np.asarray(c, dtype=np.float64))
+                           for c in self._cost_slices)
+            self._phase_table_slices = tables
+        return tables
+
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> list[np.ndarray]:
+        """Materialize one ``(rows, local_states)`` block per rank."""
+        s = self.local_states
+        if sv0 is None:
+            amp = 1.0 / np.sqrt(self._n_states)
+            return [np.full((rows, s), amp, dtype=self._precision.complex_dtype)
+                    for _ in range(self._n_ranks)]
+        full = self._validate_sv0(sv0)
+        return [np.repeat(full[r * s:(r + 1) * s][None, :], rows, axis=0)
+                for r in range(self._n_ranks)]
+
+    def _apply_phase_block(self, block: list[np.ndarray], gammas: np.ndarray,
+                           plan: Any) -> None:
+        """Batched slice-local phase sweep (no communication, Sec. III-A)."""
+        tables = plan.phase_tables
+
+        def work(r: int) -> None:
+            table = None if tables is None else tables[r]
+            apply_phase_batch_inplace(block[r], self._phase_cost_slices[r],
+                                      gammas, self._workspace[r],
+                                      phase_table=table)
+
+        self._map_ranks(work)
+
+    def _apply_mixer_block(self, block: list[np.ndarray], betas: np.ndarray,
+                           n_trotters: int, scratch: Any) -> None:
+        """Batched transverse-field mixer over per-rank slice blocks.
+
+        Local qubits are rotated with the batched blocked SU(2) kernel (one
+        sweep covers every schedule); the global qubits go through the
+        strategy's batched communication step.  ``n_trotters`` is ignored —
+        the X-mixer factors commute exactly — and no ping-pong scratch is
+        used (the blocked kernels run in place through the workspaces).
+        """
+        del n_trotters, scratch
+        a_rows, b_rows = su2_x_rotation_batch(betas)
+
+        def work(r: int) -> None:
+            for q in range(self.n_local_qubits):
+                apply_su2_batch_blocked(block[r], a_rows, b_rows, q,
+                                        self._workspace[r])
+
+        self._map_ranks(work)
+        if self._k_global > 0:
+            self._apply_global_mixer_batch(block, a_rows, b_rows)
+
+    def _apply_global_mixer_batch(self, block: list[np.ndarray],
+                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+        """Batched rotations on the k global qubits — strategy-specific."""
+        raise NotImplementedError
+
+    def _block_expectations(self, block: list[np.ndarray],
+                            costs: np.ndarray) -> np.ndarray:
+        """Per-schedule objective: slice-local partial sums + allreduce(sum).
+
+        Accumulation is float64 per rank (the workspace's real scratch)
+        regardless of the state precision; the reduce over ranks models the
+        final ``MPI_Allreduce``.
+        """
+        s = self.local_states
+        out = np.zeros(block[0].shape[0], dtype=np.float64)
+        for r in range(self._n_ranks):
+            cost_slice = np.asarray(costs[r * s:(r + 1) * s], dtype=np.float64)
+            out += expectation_batch_inplace(block[r], cost_slice,
+                                             self._workspace[r])
+        return out
+
+    def _block_results(self, block: list[np.ndarray]) -> list[DistributedStateVector]:
+        """One :class:`DistributedStateVector` per schedule (slices copied out)."""
+        rows = block[0].shape[0]
+        return [
+            DistributedStateVector(
+                slices=[np.array(block[r][i], copy=True)
+                        for r in range(self._n_ranks)],
+                n_qubits=self._n_qubits,
+            )
+            for i in range(rows)
+        ]
 
     # -- simulation -------------------------------------------------------------------
     def simulate_qaoa(self, gammas: Sequence[float], betas: Sequence[float],
@@ -280,6 +395,29 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
         for r in range(self._n_ranks):
             slices[r][:] = new_slices[r]
 
+    def _alltoall_block(self, block: list[np.ndarray]) -> None:
+        """One Alltoall per schedule row, written back into the block in place."""
+        for i in range(block[0].shape[0]):
+            row_slices = [block[r][i] for r in range(self._n_ranks)]
+            new_slices, trace = alltoall(row_slices, self.alltoall_algorithm)
+            self.traffic_log.append(trace)
+            for r in range(self._n_ranks):
+                block[r][i, :] = new_slices[r]
+
+    def _apply_global_mixer_batch(self, block: list[np.ndarray],
+                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+        """Batched Algorithm 4 global step: the rotations between the two
+        Alltoall exchanges cover every schedule in one batched sweep per rank."""
+        self._alltoall_block(block)
+
+        def work(r: int) -> None:
+            for q in range(self._n_qubits - self._k_global, self._n_qubits):
+                apply_su2_batch_blocked(block[r], a_rows, b_rows,
+                                        q - self._k_global, self._workspace[r])
+
+        self._map_ranks(work)
+        self._alltoall_block(block)
+
 
 class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
     """Distributed FUR simulator using cuStateVec-style index-bit swaps."""
@@ -300,10 +438,39 @@ class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
             self._swap_global_with_top_local(slices, j, half, trace)
         self.traffic_log.append(trace)
 
+    def _apply_global_mixer_batch(self, block: list[np.ndarray],
+                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+        """Batched index-bit-swap global step.
+
+        The half-slice exchange operates on the state axis of the whole
+        ``(rows, local_states)`` block, so every global qubit costs one
+        pairwise exchange for *all* schedules at once (rows-independent
+        message count — the batched win over the looped default) and one
+        batched SU(2) sweep on the top local qubit.
+        """
+        n_local = self.n_local_qubits
+        half = 1 << (n_local - 1)
+        trace = TrafficTrace()
+        for j in range(self._k_global):
+            self._swap_global_with_top_local(block, j, half, trace)
+
+            def work(r: int) -> None:
+                apply_su2_batch_blocked(block[r], a_rows, b_rows, n_local - 1,
+                                        self._workspace[r])
+
+            self._map_ranks(work)
+            self._swap_global_with_top_local(block, j, half, trace)
+        self.traffic_log.append(trace)
+
     def _swap_global_with_top_local(self, slices: list[np.ndarray], global_bit: int,
                                     half: int, trace: TrafficTrace) -> None:
         """Pairwise exchange implementing the index swap of rank bit ``global_bit``
-        with the top local qubit."""
+        with the top local qubit.
+
+        ``slices`` may hold 1-D per-rank state slices (the looped path) or
+        2-D ``(rows, local_states)`` blocks (the fused batched path) — the
+        exchange always acts on the trailing state axis.
+        """
         for r in range(self._n_ranks):
             partner = r ^ (1 << global_bit)
             if partner < r:
@@ -313,9 +480,9 @@ class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
             # the partner (rank bit 1-g) sends the complementary half.
             r_lo, r_hi = (0, half) if g == 1 else (half, 2 * half)
             p_lo, p_hi = (half, 2 * half) if g == 1 else (0, half)
-            buf = slices[r][r_lo:r_hi].copy()
-            slices[r][r_lo:r_hi] = slices[partner][p_lo:p_hi]
-            slices[partner][p_lo:p_hi] = buf
+            buf = slices[r][..., r_lo:r_hi].copy()
+            slices[r][..., r_lo:r_hi] = slices[partner][..., p_lo:p_hi]
+            slices[partner][..., p_lo:p_hi] = buf
             nbytes = buf.nbytes
             trace.add(r, partner, nbytes, global_bit)
             trace.add(partner, r, nbytes, global_bit)

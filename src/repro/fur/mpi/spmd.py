@@ -17,13 +17,25 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from ...parallel.communicator import Communicator, ThreadCluster
-from ..base import validate_angles
-from ..cvect.kernels import KernelWorkspace, apply_phase_inplace, apply_su2_blocked
-from ..diagonal import precompute_cost_diagonal_slice
+from ..base import validate_angle_batches, validate_angles
+from ..cvect.kernels import (
+    KernelWorkspace,
+    apply_phase_batch_inplace,
+    apply_phase_inplace,
+    apply_su2_batch_blocked,
+    apply_su2_blocked,
+    expectation_batch_inplace,
+)
+from ..diagonal import build_phase_table, precompute_cost_diagonal_slice
 from ..precision import resolve_precision
-from ..python.furx import su2_x_rotation
+from ..python.furx import su2_x_rotation, su2_x_rotation_batch
 
-__all__ = ["qaoa_rank_program", "run_distributed_qaoa"]
+__all__ = [
+    "qaoa_rank_program",
+    "qaoa_rank_program_batch",
+    "run_distributed_qaoa",
+    "run_distributed_qaoa_batch",
+]
 
 
 def qaoa_rank_program(comm: Communicator, n_qubits: int,
@@ -82,6 +94,72 @@ def qaoa_rank_program(comm: Communicator, n_qubits: int,
     }
 
 
+def qaoa_rank_program_batch(comm: Communicator, n_qubits: int,
+                            terms: list[tuple[float, tuple[int, ...]]],
+                            gammas_batch, betas_batch,
+                            precision: str = "double") -> dict:
+    """The fused batched per-rank program: evolve a local slice *block*.
+
+    The SPMD mirror of the execution engine's fused distributed path
+    (:mod:`repro.fur.engine`): each rank evolves a ``(B, local_states)``
+    block through all layers — batched slice-local phase sweeps (unique-value
+    phase table when the slice is repetitive), batched local SU(2) rotations,
+    and one alltoall per schedule per exchange for the global qubits — then
+    reduces every schedule to its objective value with one allreduce.
+    Returns a dict with the rank's block, the length-``B`` ``expectations``
+    array (identical on every rank, float64-accumulated) and the alltoall
+    count.
+    """
+    rank, size = comm.rank, comm.size
+    if size & (size - 1):
+        raise ValueError("the rank count must be a power of two")
+    k = size.bit_length() - 1
+    if 2 * k > n_qubits:
+        raise ValueError(f"Algorithm 4 requires 2*log2(K) <= n; got K={size}, n={n_qubits}")
+    n_local = n_qubits - k
+    local_states = 1 << n_local
+    g, b_angles = validate_angle_batches(gammas_batch, betas_batch)
+    batch = g.shape[0]
+    spec = resolve_precision(precision)
+
+    # Slice-local precomputation (Sec. III-A: no communication needed).
+    costs = precompute_cost_diagonal_slice(terms, n_qubits,
+                                           rank * local_states, (rank + 1) * local_states,
+                                           dtype=spec.real_dtype)
+    costs64 = np.asarray(costs, dtype=np.float64)
+    table = build_phase_table(costs64)
+    block = np.full((batch, local_states), 1.0 / np.sqrt(1 << n_qubits),
+                    dtype=spec.complex_dtype)
+    workspace = KernelWorkspace(local_states, dtype=spec.complex_dtype)
+    n_alltoall = 0
+
+    for layer in range(g.shape[1]):
+        apply_phase_batch_inplace(block, costs, g[:, layer], workspace,
+                                  phase_table=table)
+        a_rows, b_rows = su2_x_rotation_batch(b_angles[:, layer])
+        for q in range(n_local):
+            apply_su2_batch_blocked(block, a_rows, b_rows, q, workspace)
+        if k > 0:
+            for i in range(batch):
+                block[i, :] = comm.alltoall(block[i])
+            n_alltoall += batch
+            for q in range(n_qubits - k, n_qubits):
+                apply_su2_batch_blocked(block, a_rows, b_rows, q - k, workspace)
+            for i in range(batch):
+                block[i, :] = comm.alltoall(block[i])
+            n_alltoall += batch
+
+    # Float64 accumulation regardless of the state precision.
+    local = expectation_batch_inplace(block, costs64, workspace)
+    expectations = np.asarray(comm.allreduce_sum(local), dtype=np.float64)
+    return {
+        "rank": rank,
+        "statevector_block": block,
+        "expectations": expectations,
+        "n_alltoall": n_alltoall,
+    }
+
+
 def run_distributed_qaoa(n_qubits: int, terms: Iterable[tuple[float, Iterable[int]]],
                          gammas: Sequence[float], betas: Sequence[float],
                          n_ranks: int = 4, precision: str = "double") -> dict:
@@ -99,5 +177,30 @@ def run_distributed_qaoa(n_qubits: int, terms: Iterable[tuple[float, Iterable[in
     return {
         "statevector": full,
         "expectation": results[0]["expectation"],
+        "ranks": results,
+    }
+
+
+def run_distributed_qaoa_batch(n_qubits: int,
+                               terms: Iterable[tuple[float, Iterable[int]]],
+                               gammas_batch, betas_batch,
+                               n_ranks: int = 4,
+                               precision: str = "double") -> dict:
+    """Run the fused batched SPMD program on a :class:`ThreadCluster`.
+
+    Returns a dict with the per-schedule ``expectations`` array, the gathered
+    ``(B, 2^n)`` ``statevectors`` block and the per-rank result dicts
+    (``ranks``).
+    """
+    term_list = [(float(w), tuple(idx)) for w, idx in terms]
+    cluster = ThreadCluster(n_ranks)
+    results = cluster.run(
+        qaoa_rank_program_batch,
+        [(n_qubits, term_list, gammas_batch, betas_batch, precision)] * n_ranks)
+    results.sort(key=lambda r: r["rank"])
+    full = np.concatenate([r["statevector_block"] for r in results], axis=1)
+    return {
+        "statevectors": full,
+        "expectations": results[0]["expectations"],
         "ranks": results,
     }

@@ -11,15 +11,14 @@ the constructor, via the base class), and each layer applies
 The three classes differ only in the mixer (transverse-field X, XY-ring,
 XY-complete), mirroring QOKit's simulator families.
 
-Batched evaluation (``simulate_qaoa_batch`` / ``get_expectation_batch``) is
-*fused*: a ``(B, 2^n)`` state block is evolved through all ``p`` layers at
-once — the phase operator broadcasts ``exp(-i γ_b c)`` across the batch
-(through the unique-value phase table when the diagonal is repetitive, and
-chunked over basis states otherwise, to bound temporaries), and the mixer
-kernels cover the whole block with one NumPy op per pass
-(:func:`~repro.fur.python.furx.furx_all_batch` and the batched XY kernels).
-Batches larger than the memory budget are transparently split into
-sub-batches.
+Batched evaluation is orchestrated by the shared execution engine
+(:mod:`repro.fur.engine`); this module only implements the
+:class:`~repro.fur.engine.KernelProvider` hooks — a ``(rows, 2^n)`` host
+block, a vectorized batched phase sweep (unique-value phase table when the
+diagonal is repetitive, chunked direct ``exp`` otherwise) and the batched
+mixer kernels (:func:`~repro.fur.python.furx.furx_all_batch` and the batched
+XY kernels).  Sub-batch splitting, scratch lifetime and the float64
+accumulation policy live in the engine, not here.
 """
 
 from __future__ import annotations
@@ -29,11 +28,7 @@ from typing import Any
 
 import numpy as np
 
-from ..base import (
-    FusedBatchEngineMixin,
-    QAOAFastSimulatorBase,
-    validate_angles,
-)
+from ..base import QAOAFastSimulatorBase, validate_angles
 from .furx import furx_all, furx_all_batch
 from .furxy import furxy_complete, furxy_complete_batch, furxy_ring, furxy_ring_batch
 
@@ -48,16 +43,13 @@ __all__ = [
 _BATCH_PHASE_CHUNK: int = 1 << 20
 
 
-class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
+class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
     """Shared host-NumPy simulation loop; subclasses supply the mixer."""
 
     backend_name = "python"
+    supports_fused_engine = True
 
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
-        raise NotImplementedError
-
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
-                           n_trotters: int, scratch: np.ndarray | None) -> None:
         raise NotImplementedError
 
     def _apply_phase(self, sv: np.ndarray, gamma: float) -> None:
@@ -103,52 +95,53 @@ class _QAOAFURPythonSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
-    # -- fused batched evaluation --------------------------------------------
-    def _apply_phase_block(self, block: np.ndarray, gammas_layer: np.ndarray,
-                           phase_buf: np.ndarray) -> None:
+    # -- kernel-provider hooks (driven by repro.fur.engine) -------------------
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
+        sv = self._validate_sv0(sv0)
+        # One phase gather buffer per sub-batch, reused across all p layers
+        # and dropped with the block (never retained at state-vector size
+        # beyond the batch).
+        self._phase_buf = np.empty(self._n_states,
+                                   dtype=self._precision.complex_dtype)
+        return np.repeat(sv[None, :], rows, axis=0)
+
+    def _mixer_scratch(self, block: np.ndarray) -> np.ndarray:
+        return np.empty_like(block)
+
+    def _apply_phase_block(self, block: np.ndarray, gammas: np.ndarray,
+                           plan: Any) -> None:
         """Vectorized phase operator on a ``(rows, 2^n)`` block.
 
-        ``exp(-i γ_b c)`` is broadcast across the batch: when the diagonal's
+        ``exp(-i γ_b c)`` is broadcast across the batch: when the plan's
         unique-value phase table applies, one ``exp`` over the ``(rows, U)``
-        distinct values plus per-row gathers (into the preallocated
-        ``phase_buf``) replaces ``rows · 2^n`` transcendentals; otherwise the
+        distinct values plus per-row gathers (into the per-sub-batch gather
+        buffer) replaces ``rows · 2^n`` transcendentals; otherwise the
         exponential is evaluated directly, chunked over basis states so the
         ``(rows, chunk)`` temporaries stay bounded.
         """
-        table = self._diagonal_phase_table()
+        table = plan.phase_tables
         rows, n = block.shape
         if table is not None:
-            factors = table.factors_batch(gammas_layer, dtype=block.dtype)
+            factors = table.factors_batch(gammas, dtype=block.dtype)
+            buf = self._phase_buf
             for r in range(rows):
-                np.take(factors[r], table.inverse, out=phase_buf)
-                block[r] *= phase_buf
+                np.take(factors[r], table.inverse, out=buf)
+                block[r] *= buf
             return
         costs = self._phase_costs()
-        coeff = (-1j * gammas_layer).astype(block.dtype)
+        coeff = (-1j * gammas).astype(block.dtype)
         cols = max(1, _BATCH_PHASE_CHUNK // rows)
         for s in range(0, n, cols):
             e = min(s + cols, n)
             block[:, s:e] *= np.exp(coeff[:, None] * costs[s:e][None, :])
 
-    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
-                      sv0: np.ndarray | None, n_trotters: int) -> np.ndarray:
-        """Evolve a ``(rows, 2^n)`` block through all ``p`` layers.
+    def _block_expectations(self, block: np.ndarray, costs: np.ndarray) -> np.ndarray:
+        self._phase_buf = None
+        return _block_expectations(block, costs)
 
-        The ping-pong scratch block is only materialized for mixers that use
-        it (the gemm-grouped X mixer); XY mixers run in place.
-        """
-        rows = g_sub.shape[0]
-        sv = self._validate_sv0(sv0)
-        block = np.repeat(sv[None, :], rows, axis=0)
-        scratch = np.empty_like(block) if self._mixer_needs_scratch else None
-        phase_buf = np.empty(self._n_states, dtype=self._precision.complex_dtype)
-        for layer in range(g_sub.shape[1]):
-            self._apply_phase_block(block, g_sub[:, layer], phase_buf)
-            self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
-        return block
-
-    def _block_expectations(self, block: np.ndarray, resolved: np.ndarray) -> np.ndarray:
-        return _block_expectations(block, resolved)
+    def _block_results(self, block: np.ndarray) -> list[np.ndarray]:
+        self._phase_buf = None
+        return list(block)
 
     # -- output methods ------------------------------------------------------
     def get_statevector(self, result: np.ndarray, **kwargs: Any) -> np.ndarray:
@@ -193,7 +186,7 @@ class QAOAFURXSimulator(_QAOAFURPythonSimulatorBase):
         # The X-mixer factors commute, so Trotterization is exact and unused.
         furx_all(sv, beta, self._n_qubits)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         furx_all_batch(block, betas, self._n_qubits, scratch=scratch)
 
@@ -207,7 +200,7 @@ class QAOAFURXYRingSimulator(_QAOAFURPythonSimulatorBase):
         for _ in range(n_trotters):
             furxy_ring(sv, beta / n_trotters, self._n_qubits)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             furxy_ring_batch(block, betas / n_trotters, self._n_qubits)
@@ -222,7 +215,7 @@ class QAOAFURXYCompleteSimulator(_QAOAFURPythonSimulatorBase):
         for _ in range(n_trotters):
             furxy_complete(sv, beta / n_trotters, self._n_qubits)
 
-    def _apply_mixer_batch(self, block: np.ndarray, betas: np.ndarray,
+    def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             furxy_complete_batch(block, betas / n_trotters, self._n_qubits)

@@ -33,11 +33,17 @@ Registering a new backend from outside the package::
     def _load_mybackend():
         from mypkg import MySimulator
         return {"x": MySimulator}
+
+Installed third-party packages can skip the import-time registration call
+entirely by advertising a :class:`BackendSpec` in the ``repro.fur.backends``
+setuptools entry-point group; :func:`load_entry_point_backends` scans the
+group once at ``repro.fur`` import time.
 """
 
 from __future__ import annotations
 
 import difflib
+import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -58,7 +64,12 @@ __all__ = [
     "get_simulator_class",
     "available_backends",
     "simulator",
+    "load_entry_point_backends",
+    "ENTRY_POINT_GROUP",
 ]
+
+#: setuptools entry-point group scanned for third-party backend specs.
+ENTRY_POINT_GROUP = "repro.fur.backends"
 
 #: Mixer families defined by the paper (transverse-field X, ring XY, complete XY).
 KNOWN_MIXERS = ("x", "xyring", "xycomplete")
@@ -356,6 +367,66 @@ registry = BackendRegistry()
 
 #: Module-level decorator bound to the process-wide registry.
 register_backend = registry.register_backend
+
+
+# ---------------------------------------------------------------------------
+# Third-party backend discovery via setuptools entry points.
+# ---------------------------------------------------------------------------
+
+def _iter_entry_points(group: str) -> list:
+    """All installed entry points of one group (compatible across py3.10+)."""
+    from importlib import metadata
+
+    try:
+        return list(metadata.entry_points(group=group))
+    except TypeError:  # pragma: no cover - legacy dict-shaped API
+        return list(metadata.entry_points().get(group, []))
+
+
+def load_entry_point_backends(target: BackendRegistry | None = None, *,
+                              group: str = ENTRY_POINT_GROUP) -> list[str]:
+    """Discover and register third-party backends from setuptools entry points.
+
+    An external package advertises a backend by declaring an entry point in
+    the ``repro.fur.backends`` group whose target is either a
+    :class:`BackendSpec` instance or a zero-argument callable returning one::
+
+        [project.entry-points."repro.fur.backends"]
+        mybackend = "mypkg.qaoa:backend_spec"
+
+    This function is called once at ``repro.fur`` import time (after the
+    built-in families register), so installed plugins are resolvable by name
+    through ``repro.simulator(..., backend="mybackend")``.  The module that
+    *carries* the spec is imported during the scan (keep it lightweight);
+    the spec's ``loader`` stays lazy as for built-ins, so the simulator
+    implementation itself is only imported when the backend is first used.
+    A broken plugin (import error, bad spec, name collision with an existing
+    backend) is skipped with a ``RuntimeWarning`` rather than breaking
+    ``import repro``.
+
+    Returns the canonical names that were registered.
+    """
+    reg = registry if target is None else target
+    registered: list[str] = []
+    for ep in _iter_entry_points(group):
+        try:
+            obj = ep.load()
+            spec = obj() if not isinstance(obj, BackendSpec) and callable(obj) else obj
+            if not isinstance(spec, BackendSpec):
+                raise TypeError(
+                    f"entry point must provide a BackendSpec (or a callable "
+                    f"returning one), got {type(spec).__name__}"
+                )
+            reg.register(spec)
+            registered.append(spec.name)
+        except Exception as exc:
+            warnings.warn(
+                f"skipping third-party simulator backend {ep.name!r} "
+                f"from entry-point group {group!r}: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return registered
 
 
 def get_backend(name: str = "auto", *, mixer: str | None = None,

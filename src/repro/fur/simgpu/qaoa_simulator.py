@@ -7,6 +7,12 @@ host (honouring ``preserve_state``, as in Listing 3 of the paper).  Numerical
 results are identical to the CPU backends; in addition the simulator exposes
 ``modeled_device_time()`` so the benchmark harness can report projected A100
 timings next to measured host timings.
+
+Batched evaluation is orchestrated by the shared execution engine
+(:mod:`repro.fur.engine`); this module implements the
+:class:`~repro.fur.engine.KernelProvider` hooks over device-resident blocks —
+including the device transfer hooks (block upload, per-batch diagonal
+staging, block release) and a device-memory-aware sub-batch capacity.
 """
 
 from __future__ import annotations
@@ -17,14 +23,12 @@ from typing import Any
 import numpy as np
 
 from ..base import (
-    FusedBatchEngineMixin,
     QAOAFastSimulatorBase,
     batch_block_rows,
-    validate_angle_batches,
     validate_angles,
 )
 from ..cvect.kernels import DEFAULT_BLOCK_SIZE, KernelWorkspace
-from ..diagonal import CompressedDiagonal, term_masks_and_weights
+from ..diagonal import term_masks_and_weights
 from .device import A100_80GB, DeviceArray, DeviceSpec, SimulatedDevice
 from .kernels import (
     device_apply_phase,
@@ -50,10 +54,11 @@ __all__ = [
 ]
 
 
-class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
+class _QAOAFURGPUSimulatorBase(QAOAFastSimulatorBase):
     """Shared device-resident simulation loop; subclasses supply the mixer."""
 
     backend_name = "gpu"
+    supports_fused_engine = True
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  device: SimulatedDevice | None = None,
@@ -132,20 +137,16 @@ class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
             self._apply_mixer(sv, float(beta), n_trotters)
         return sv
 
-    # -- fused batched evaluation (device-block variant) -----------------------------
-    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
-                           n_trotters: int, scratch: np.ndarray | None) -> None:
-        raise NotImplementedError
-
+    # -- kernel-provider hooks (driven by repro.fur.engine) -----------------------
     def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
         """Sub-batch rows bounded by both the host budget and device memory.
 
-        Called once per sub-batch: :func:`device_split_rows` keeps earlier
-        sub-batches' per-row results resident, so the free-memory estimate
-        must be re-derived as rows accumulate.  A row costs two state vectors
-        while its block and split results coexist; at least one row is always
-        attempted (the device allocator raises :class:`MemoryError` if it
-        truly cannot fit).
+        Called by the engine once per sub-batch: :func:`device_split_rows`
+        keeps earlier sub-batches' per-row results resident, so the
+        free-memory estimate must be re-derived as rows accumulate.  A row
+        costs two state vectors while its block and split results coexist;
+        at least one row is always attempted (the device allocator raises
+        :class:`MemoryError` if it truly cannot fit).
         """
         itemsize = self._precision.complex_itemsize
         rows = batch_block_rows(remaining, self._n_states, memory_budget,
@@ -158,66 +159,44 @@ class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         device_rows = int(free // per_row)
         return max(1, min(rows, device_rows))
 
-    def _evolve_block(self, g_sub: np.ndarray, b_sub: np.ndarray,
-                      sv0: np.ndarray | None, n_trotters: int) -> DeviceArray:
-        """Upload a ``(rows, 2^n)`` block and evolve it with device kernels.
-
-        Returns one device result array per schedule via the mixin driver
-        (:func:`device_split_rows` frees the block after splitting); the
-        gemm-grouped X mixer's ping-pong scratch is allocated once per
-        sub-batch.
-        """
-        rows = g_sub.shape[0]
+    def _stage_block(self, sv0: np.ndarray | None, rows: int) -> DeviceArray:
+        """Upload a ``(rows, 2^n)`` block to the device."""
         sv = self._validate_sv0(sv0)
-        block = self._device.to_device(np.repeat(sv[None, :], rows, axis=0))
-        scratch = np.empty_like(block.data) if self._mixer_needs_scratch else None
-        table = self._diagonal_phase_table()
-        for layer in range(g_sub.shape[1]):
-            device_apply_phase_batch(block, self._costs_device, g_sub[:, layer],
-                                     self._workspace, phase_table=table)
-            self._apply_mixer_batch(block, b_sub[:, layer], n_trotters, scratch)
-        return block
+        return self._device.to_device(np.repeat(sv[None, :], rows, axis=0))
+
+    def _mixer_scratch(self, block: DeviceArray) -> np.ndarray:
+        # The gemm-grouped batch mixer ping-pongs through host scratch; the
+        # modeled device clock charges the real kernel's traffic regardless.
+        return np.empty_like(block.data)
+
+    def _apply_phase_block(self, block: DeviceArray, gammas: np.ndarray,
+                           plan: Any) -> None:
+        device_apply_phase_batch(block, self._costs_device, gammas,
+                                 self._workspace, phase_table=plan.phase_tables)
+
+    def _block_expectations(self, block: DeviceArray, costs: DeviceArray) -> np.ndarray:
+        return device_expectation_batch(block, costs, self._workspace)
 
     def _block_results(self, block: DeviceArray) -> list[DeviceArray]:
         return device_split_rows(block)
 
-    def get_expectation_batch(self, gammas_batch, betas_batch,
-                              costs: np.ndarray | CompressedDiagonal | None = None,
-                              sv0: np.ndarray | None = None, *,
-                              n_trotters: int = 1,
-                              memory_budget: float | None = None,
-                              **kwargs: Any) -> np.ndarray:
-        """Batched objective via device-side reductions; blocks freed per sub-batch.
+    def _release_block(self, block: DeviceArray) -> None:
+        block.free()
 
-        Overrides the mixin driver because the diagonal must live on the
-        device (a user-supplied ``costs`` is staged transiently) and blocks
-        need explicit freeing.
+    def _stage_batch_costs(self, resolved: np.ndarray) -> DeviceArray:
+        """Device copy of the batch diagonal (the resident one when default).
+
+        A user-supplied diagonal is staged transiently for the batch and
+        freed by :meth:`_release_batch_costs`; the default diagonal reuses
+        the always-resident device copy.
         """
-        if kwargs:
-            raise TypeError(f"unexpected keyword arguments: {sorted(kwargs)}")
-        if n_trotters < 1:
-            raise ValueError("n_trotters must be at least 1")
-        g, b = validate_angle_batches(gammas_batch, betas_batch)
-        if costs is None:
-            costs_dev, transient = self._costs_device, False
-        else:
-            costs_dev, transient = self._device.to_device(self._resolve_costs(costs)), True
-        out = np.empty(g.shape[0], dtype=np.float64)
-        try:
-            r0 = 0
-            while r0 < g.shape[0]:
-                r1 = min(r0 + self._batch_rows(g.shape[0] - r0, memory_budget),
-                         g.shape[0])
-                block = self._evolve_block(g[r0:r1], b[r0:r1], sv0, n_trotters)
-                try:
-                    out[r0:r1] = device_expectation_batch(block, costs_dev, self._workspace)
-                finally:
-                    block.free()
-                r0 = r1
-        finally:
-            if transient:
-                costs_dev.free()
-        return out
+        if resolved is self._default_costs():
+            return self._costs_device
+        return self._device.to_device(np.ascontiguousarray(resolved))
+
+    def _release_batch_costs(self, staged: DeviceArray) -> None:
+        if staged is not self._costs_device:
+            staged.free()
 
     # -- output methods (always host values) ------------------------------------------
     def get_statevector(self, result: DeviceArray, **kwargs: Any) -> np.ndarray:
@@ -236,7 +215,7 @@ class _QAOAFURGPUSimulatorBase(FusedBatchEngineMixin, QAOAFastSimulatorBase):
         if costs is None:
             return device_expectation(result, self._costs_device, self._workspace)
         host_costs = self._resolve_costs(costs)
-        costs_dev = self._device.to_device(host_costs)
+        costs_dev = self._device.to_device(np.ascontiguousarray(host_costs))
         try:
             return device_expectation(result, costs_dev, self._workspace)
         finally:
@@ -265,7 +244,7 @@ class QAOAFURXSimulatorGPU(_QAOAFURGPUSimulatorBase):
     def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
         device_furx_all(sv, beta, self._n_qubits, self._workspace)
 
-    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+    def _apply_mixer_block(self, svb: DeviceArray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         device_furx_all_batch(svb, betas, self._n_qubits, self._workspace,
                               scratch=scratch)
@@ -280,7 +259,7 @@ class QAOAFURXYRingSimulatorGPU(_QAOAFURGPUSimulatorBase):
         for _ in range(n_trotters):
             device_furxy_ring(sv, beta / n_trotters, self._n_qubits, self._workspace)
 
-    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+    def _apply_mixer_block(self, svb: DeviceArray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             device_furxy_ring_batch(svb, betas / n_trotters, self._n_qubits,
@@ -296,7 +275,7 @@ class QAOAFURXYCompleteSimulatorGPU(_QAOAFURGPUSimulatorBase):
         for _ in range(n_trotters):
             device_furxy_complete(sv, beta / n_trotters, self._n_qubits, self._workspace)
 
-    def _apply_mixer_batch(self, svb: DeviceArray, betas: np.ndarray,
+    def _apply_mixer_block(self, svb: DeviceArray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         for _ in range(n_trotters):
             device_furxy_complete_batch(svb, betas / n_trotters, self._n_qubits,

@@ -96,13 +96,15 @@ class QAOAObjective:
 
         ``thetas`` is ``(B, 2p)`` shaped (a single vector is promoted to a
         batch of one); the returned array holds one objective value per row.
-        Routes through the simulator's batched API — the ``python``, ``c``
-        and ``gpu`` backends implement it as a fused engine evolving a
-        ``(B, 2^n)`` state block through all layers at once, splitting
-        batches that exceed :attr:`batch_memory_budget` into sub-batches —
-        and keeps the usual bookkeeping (evaluation count, history,
-        best-seen) per row.  This is the natural entry point for
-        population-based optimizers and parameter grid scans
+        Routes through the simulator's batched API and hence the shared
+        execution engine (:mod:`repro.fur.engine`): every backend that
+        implements the kernel-provider protocol — including the distributed
+        ``gpumpi``/``cusvmpi`` families — evolves a ``(B, 2^n)`` state block
+        through all layers at once under a cached execution plan, splitting
+        batches that exceed :attr:`batch_memory_budget` into sub-batches.
+        The usual bookkeeping (evaluation count, history, best-seen) is kept
+        per row.  This is the natural entry point for population-based
+        optimizers and parameter grid scans
         (:func:`repro.qaoa.grid_scan_qaoa`,
         :func:`repro.qaoa.population_optimize`).
         """

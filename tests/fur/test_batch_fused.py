@@ -363,8 +363,8 @@ class TestHotPathRegressions:
 
         monkeypatch.setattr(type(sim), "get_cost_diagonal", counting)
         rng = np.random.default_rng(1)
-        QAOAFastSimulatorBase.get_expectation_batch(
-            sim, rng.uniform(0, 1, (6, 2)), rng.uniform(0, 1, (6, 2)))
+        sim.get_expectation_batch(rng.uniform(0, 1, (6, 2)),
+                                  rng.uniform(0, 1, (6, 2)), mode="looped")
         assert calls["n"] == 1
 
     def test_python_inplace_probabilities_contiguous(self):

@@ -261,7 +261,7 @@ class TestFusedLoopedParitySingle:
         gb = rng.uniform(0.0, 1.0, (batch, p))
         bb = rng.uniform(0.0, 1.0, (batch, p))
         fused = sim.get_expectation_batch(gb, bb)
-        looped = QAOAFastSimulatorBase.get_expectation_batch(sim, gb, bb)
+        looped = sim.get_expectation_batch(gb, bb, mode="looped")
         np.testing.assert_allclose(fused, looped, rtol=2e-5, atol=2e-5)
         fused_states = [sim.get_statevector(r)
                         for r in sim.simulate_qaoa_batch(gb, bb)]

@@ -332,3 +332,98 @@ class TestBatchedEvaluation:
         values = obj.evaluate_batch(np.array([[0.1, 0.2], [0.3, 0.4]]))
         assert np.all(values <= 0)  # negated overlap
         assert obj.n_evaluations == 2
+
+
+class TestEntryPointDiscovery:
+    """Satellite: third-party backends via the repro.fur.backends entry-point
+    group (scanned once at repro.fur import time)."""
+
+    @staticmethod
+    def _stub_entry_point(name, target):
+        class StubEntryPoint:
+            def load(self):
+                return target
+
+        ep = StubEntryPoint()
+        ep.name = name
+        return ep
+
+    def _patched_group(self, monkeypatch, entry_points):
+        import importlib
+
+        # ``repro.fur.registry`` the *attribute* is the registry instance;
+        # fetch the module itself to patch the entry-point iterator.
+        registry_mod = importlib.import_module("repro.fur.registry")
+        monkeypatch.setattr(registry_mod, "_iter_entry_points",
+                            lambda group: list(entry_points))
+
+    def test_spec_entry_point_registers(self, monkeypatch):
+        from repro.fur.registry import (
+            BackendRegistry,
+            BackendSpec,
+            load_entry_point_backends,
+        )
+
+        spec = BackendSpec(name="plugin", aliases=("thirdparty",),
+                           loader=lambda: {"x": QAOAFURXSimulator},
+                           mixers=("x",), priority=7)
+        self._patched_group(monkeypatch, [self._stub_entry_point("plugin", spec)])
+        target = BackendRegistry()
+        assert load_entry_point_backends(target) == ["plugin"]
+        assert target.simulator_class("plugin", "x") is QAOAFURXSimulator
+        assert target.spec("thirdparty").name == "plugin"
+
+    def test_callable_entry_point_registers(self, monkeypatch):
+        from repro.fur.registry import (
+            BackendRegistry,
+            BackendSpec,
+            load_entry_point_backends,
+        )
+
+        def make_spec():
+            return BackendSpec(name="factoryplugin",
+                               loader=lambda: {"x": QAOAFURXSimulatorC})
+
+        self._patched_group(monkeypatch,
+                            [self._stub_entry_point("factoryplugin", make_spec)])
+        target = BackendRegistry()
+        assert load_entry_point_backends(target) == ["factoryplugin"]
+        assert target.simulator_class("factoryplugin", "x") is QAOAFURXSimulatorC
+
+    def test_broken_entry_point_is_skipped_with_warning(self, monkeypatch):
+        from repro.fur.registry import BackendRegistry, load_entry_point_backends
+
+        class ExplodingEntryPoint:
+            name = "broken"
+
+            def load(self):
+                raise ImportError("plugin dependency missing")
+
+        self._patched_group(monkeypatch, [ExplodingEntryPoint()])
+        target = BackendRegistry()
+        with pytest.warns(RuntimeWarning, match="broken"):
+            assert load_entry_point_backends(target) == []
+        assert "broken" not in target
+
+    def test_non_spec_entry_point_is_skipped_with_warning(self, monkeypatch):
+        from repro.fur.registry import BackendRegistry, load_entry_point_backends
+
+        self._patched_group(monkeypatch,
+                            [self._stub_entry_point("bogus", object())])
+        target = BackendRegistry()
+        with pytest.warns(RuntimeWarning, match="bogus"):
+            assert load_entry_point_backends(target) == []
+
+    def test_name_collision_with_builtin_is_skipped(self, monkeypatch):
+        from repro.fur.registry import (
+            BackendSpec,
+            load_entry_point_backends,
+            registry as process_registry,
+        )
+
+        hijack = BackendSpec(name="python", loader=lambda: {"x": QAOAFURXSimulatorC})
+        self._patched_group(monkeypatch, [self._stub_entry_point("python", hijack)])
+        before = process_registry.spec("python").loader
+        with pytest.warns(RuntimeWarning, match="already registered"):
+            assert load_entry_point_backends() == []
+        assert process_registry.spec("python").loader is before
