@@ -32,7 +32,7 @@ setup(
         "networkx>=3.0",
     ],
     extras_require={
-        "test": ["pytest>=7.0"],
+        "test": ["pytest>=7.0", "pytest-cov>=4.0"],
     },
     classifiers=[
         "Development Status :: 4 - Beta",

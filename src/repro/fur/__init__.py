@@ -69,9 +69,21 @@ from .engine import (
     ExecutionPlan,
     EngineStats,
     ExpectationOp,
+    FusedPhaseMixerOp,
     KernelProvider,
     MixerOp,
     PhaseOp,
+)
+from .rewrite import (
+    DEFAULT_PASSES,
+    OPTIMIZE_LEVELS,
+    CoalesceExchanges,
+    EliminateNoOps,
+    FusePhaseIntoMixer,
+    RewritePass,
+    RewriteReport,
+    resolve_optimize,
+    run_passes,
 )
 from .cvect import (
     QAOAFURXSimulatorC,
@@ -128,7 +140,17 @@ __all__ = [
     "KernelProvider",
     "PhaseOp",
     "MixerOp",
+    "FusedPhaseMixerOp",
     "ExpectationOp",
+    "OPTIMIZE_LEVELS",
+    "resolve_optimize",
+    "RewritePass",
+    "RewriteReport",
+    "FusePhaseIntoMixer",
+    "CoalesceExchanges",
+    "EliminateNoOps",
+    "DEFAULT_PASSES",
+    "run_passes",
     "SIMULATORS",
     "choose_simulator",
     "choose_simulator_xyring",
@@ -144,7 +166,8 @@ __all__ = [
 
 @register_backend("c", aliases=("cpu",), mixers=("x", "xyring", "xycomplete"),
                   device="cpu", distributed=False,
-                  precisions=("double", "single"), priority=100,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer",), priority=100,
                   description="cache-blocked, allocation-free CPU kernels")
 def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -156,7 +179,8 @@ def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 @register_backend("python", aliases=("numpy",), mixers=("x", "xyring", "xycomplete"),
                   device="cpu", distributed=False,
-                  precisions=("double", "single"), priority=50,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer",), priority=50,
                   description="portable NumPy reference implementation")
 def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -168,7 +192,8 @@ def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 @register_backend("gpu", aliases=("nbcuda",), mixers=("x", "xyring", "xycomplete"),
                   device="gpu", distributed=False,
-                  precisions=("double", "single"), priority=30,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer",), priority=30,
                   description="simulated-GPU backend (numba-CUDA analogue)")
 def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .simgpu import (
@@ -185,7 +210,9 @@ def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("gpumpi", mixers=("x",), device="gpu", distributed=True,
-                  precisions=("double", "single"), priority=20,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer", "coalesce-exchanges"),
+                  priority=20,
                   description="distributed GPU backend (custom Alltoall, Algorithm 4)")
 def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorGPUMPI
@@ -194,7 +221,8 @@ def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 
 
 @register_backend("cusvmpi", aliases=("custatevec",), mixers=("x",), device="gpu",
-                  distributed=True, precisions=("double", "single"), priority=10,
+                  distributed=True, precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer",), priority=10,
                   description="distributed index-bit-swap backend (cuStateVec analogue)")
 def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorCUSVMPI

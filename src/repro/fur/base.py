@@ -41,6 +41,7 @@ from ..problems.terms import Term, validate_terms
 from .cache import cached_cost_diagonal
 from .diagonal import CompressedDiagonal, DiagonalPhaseTable, build_phase_table
 from .precision import PrecisionSpec, resolve_precision
+from .rewrite import resolve_optimize
 
 __all__ = [
     "QAOAFastSimulatorBase",
@@ -190,6 +191,13 @@ class QAOAFastSimulatorBase(abc.ABC):
         (complex64 state with float32 phase diagonals) — see
         :mod:`repro.fur.precision`.  Expectation values are accumulated in
         float64 regardless of the state precision.
+    optimize:
+        ``"default"`` (the plan-rewrite optimizer passes of
+        :mod:`repro.fur.rewrite` transform compiled execution plans — phase
+        sweeps fuse into mixer sweeps, distributed exchanges coalesce across
+        the batch, zero-angle ops are dropped) or ``"none"`` (plans keep the
+        unrewritten op stream).  Per-call overridable on the batched entry
+        points; part of the plan-cache key.
     """
 
     #: human-readable backend name ("python", "c", "gpu", "gpumpi", "cusvmpi")
@@ -204,14 +212,22 @@ class QAOAFastSimulatorBase(abc.ABC):
     #: whether the mixer consumes a ping-pong scratch block (set by the
     #: gemm-grouped X mixers; XY mixers run in place through the workspace)
     _mixer_needs_scratch: bool = False
+    #: whether :meth:`_apply_phase_mixer_block` is implemented — gates the
+    #: FusePhaseIntoMixer rewrite (set per mixer class, e.g. X-mixer only)
+    supports_fused_phase_mixer: bool = False
+    #: whether :meth:`_apply_mixer_block_coalesced` is implemented — gates
+    #: the CoalesceExchanges rewrite (the distributed Alltoall family)
+    supports_coalesced_exchange: bool = False
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,
                  costs: np.ndarray | CompressedDiagonal | None = None, *,
-                 precision: str | PrecisionSpec = "double") -> None:
+                 precision: str | PrecisionSpec = "double",
+                 optimize: str = "default") -> None:
         if n_qubits <= 0:
             raise ValueError(f"n_qubits must be positive, got {n_qubits}")
         self._precision = resolve_precision(precision)
+        self._optimize = resolve_optimize(optimize)
         state_bytes = (1 << n_qubits) * self._precision.complex_itemsize
         if state_bytes > MAX_STATE_BYTES:
             raise ValueError(
@@ -296,6 +312,11 @@ class QAOAFastSimulatorBase(abc.ABC):
     def precision_spec(self) -> PrecisionSpec:
         """The resolved :class:`~repro.fur.precision.PrecisionSpec`."""
         return self._precision
+
+    @property
+    def optimize(self) -> str:
+        """Default plan-optimizer level (``"default"`` or ``"none"``)."""
+        return self._optimize
 
     @property
     def complex_dtype(self) -> np.dtype:
@@ -394,6 +415,7 @@ class QAOAFastSimulatorBase(abc.ABC):
                             sv0: np.ndarray | None = None, *,
                             memory_budget: float | None = None,
                             mode: str = "auto",
+                            optimize: str | None = None,
                             **kwargs: Any) -> list[Any]:
         """Simulate a batch of (γ, β) schedules over the same problem.
 
@@ -406,11 +428,14 @@ class QAOAFastSimulatorBase(abc.ABC):
         else gets the looped fallback, which shares the precomputed diagonal,
         workspaces and device buffers across the batch but holds one state at
         a time.  ``mode`` forces ``"fused"`` or ``"looped"`` explicitly
-        (``"auto"`` picks fused whenever the backend provides kernels).
+        (``"auto"`` picks fused whenever the backend provides kernels);
+        ``optimize`` overrides the simulator's plan-optimizer level for this
+        call (``"none"`` pins the unrewritten op stream).
         """
         return self.engine.simulate_batch(gammas_batch, betas_batch, sv0=sv0,
                                           memory_budget=memory_budget,
-                                          mode=mode, **kwargs)
+                                          mode=mode, optimize=optimize,
+                                          **kwargs)
 
     def get_expectation_batch(self, gammas_batch: Sequence[Sequence[float]] | np.ndarray,
                               betas_batch: Sequence[Sequence[float]] | np.ndarray,
@@ -418,6 +443,7 @@ class QAOAFastSimulatorBase(abc.ABC):
                               sv0: np.ndarray | None = None, *,
                               memory_budget: float | None = None,
                               mode: str = "auto",
+                              optimize: str | None = None,
                               **kwargs: Any) -> np.ndarray:
         """Objective values for a batch of schedules, as a length-``B`` array.
 
@@ -426,12 +452,13 @@ class QAOAFastSimulatorBase(abc.ABC):
         the diagonal resolved to float64 exactly once for the whole batch and
         expectations accumulated in float64 regardless of the state precision
         (the engine-wide policy).  See :meth:`simulate_qaoa_batch` for the
-        fused/looped ``mode`` semantics.
+        fused/looped ``mode`` and plan-optimizer ``optimize`` semantics.
         """
         return self.engine.expectation_batch(gammas_batch, betas_batch,
                                              costs=costs, sv0=sv0,
                                              memory_budget=memory_budget,
-                                             mode=mode, **kwargs)
+                                             mode=mode, optimize=optimize,
+                                             **kwargs)
 
     # -- kernel-provider hooks (engine-driven; see repro.fur.engine) ---------
     def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
@@ -472,6 +499,33 @@ class QAOAFastSimulatorBase(abc.ABC):
     def _apply_mixer_block(self, block: Any, betas: np.ndarray,
                            n_trotters: int, scratch: Any) -> None:
         raise NotImplementedError
+
+    def _apply_mixer_block_coalesced(self, block: Any, betas: np.ndarray,
+                                     n_trotters: int, scratch: Any) -> None:
+        """Mixer sweep with batch-coalesced global exchanges.
+
+        Only reached for ops rewritten by the CoalesceExchanges pass, which
+        is gated on :attr:`supports_coalesced_exchange` — providers setting
+        the flag must implement this.
+        """
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} advertises coalesced exchanges "
+            "but does not implement _apply_mixer_block_coalesced"
+        )
+
+    def _apply_phase_mixer_block(self, block: Any, gammas: np.ndarray,
+                                 betas: np.ndarray, op: Any, scratch: Any,
+                                 plan: Any) -> None:
+        """Fused phase+mixer sweep of one layer.
+
+        Only reached for ops rewritten by the FusePhaseIntoMixer pass, which
+        is gated on :attr:`supports_fused_phase_mixer` — providers setting
+        the flag must implement this.
+        """
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} advertises the fused phase+mixer "
+            "kernel but does not implement _apply_phase_mixer_block"
+        )
 
     def _block_expectations(self, block: Any, costs: Any) -> np.ndarray:
         raise NotImplementedError

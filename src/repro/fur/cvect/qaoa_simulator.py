@@ -33,7 +33,7 @@ from .kernels import (
     furxy_blocked,
     probabilities_inplace,
 )
-from ..python.furx import furx_all_batch
+from ..python.furx import furx_all_batch, furx_phase_all_batch
 from ..python.furxy import complete_edges, ring_edges
 
 __all__ = [
@@ -51,9 +51,11 @@ class _QAOAFURCSimulatorBase(QAOAFastSimulatorBase):
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 precision: str = "double") -> None:
+                 precision: str = "double",
+                 optimize: str = "default") -> None:
         self._block_size = int(block_size)
-        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
+        super().__init__(n_qubits, terms=terms, costs=costs,
+                         precision=precision, optimize=optimize)
 
     def _post_init(self) -> None:
         self._workspace = KernelWorkspace(self._n_states, self._block_size,
@@ -130,6 +132,7 @@ class QAOAFURXSimulatorC(_QAOAFURCSimulatorBase):
 
     mixer_name = "x"
     _mixer_needs_scratch = True
+    supports_fused_phase_mixer = True
 
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         furx_all_blocked(sv, beta, self._n_qubits, self._workspace)
@@ -141,6 +144,18 @@ class QAOAFURXSimulatorC(_QAOAFURCSimulatorBase):
         # scratch instead of the workspace (numerics identical to
         # furx_all_blocked at machine precision).
         furx_all_batch(block, betas, self._n_qubits, scratch=scratch)
+
+    def _apply_phase_mixer_block(self, block: np.ndarray, gammas: np.ndarray,
+                                 betas: np.ndarray, op: Any,
+                                 scratch: np.ndarray | None, plan: Any) -> None:
+        """FusedPhaseMixerOp kernel: phase factors feed the first gemm pass
+        chunk-by-chunk, so phase + pass 1 stream the block exactly once.
+        The workspace's phase scratch serves as the gather buffer — the
+        fused layer allocates nothing after warm-up."""
+        furx_phase_all_batch(block, gammas, betas, self._n_qubits,
+                             phase_table=plan.phase_tables,
+                             costs=self._phase_costs(), scratch=scratch,
+                             phase_buf=self._workspace.phase_scratch)
 
 
 class QAOAFURXYRingSimulatorC(_QAOAFURCSimulatorBase):

@@ -28,6 +28,14 @@ The engine also owns the *looped* path (one :meth:`simulate_qaoa` call per
 schedule) used by backends that do not implement the provider protocol, and
 exposed explicitly via ``mode="looped"`` for benchmarking the fused engines
 against their baseline.
+
+After a plan's base op list is built, the optimizer pass pipeline
+(:mod:`repro.fur.rewrite`) rewrites it: phase sweeps fuse into the following
+mixer sweep (:class:`~repro.fur.rewrite.FusedPhaseMixerOp`), distributed
+exchanges coalesce across the batch, and zero-angle ops are eliminated per
+batch.  The ``optimize="default"|"none"`` knob (simulator constructor,
+batched entry points, plan-cache key) switches the pipeline off entirely so
+optimized plans can always be pinned against the unoptimized op stream.
 """
 
 from __future__ import annotations
@@ -40,6 +48,16 @@ import numpy as np
 
 from .base import validate_angle_batches
 from .diagonal import CompressedDiagonal
+from .rewrite import (
+    ExpectationOp,
+    FusedPhaseMixerOp,
+    MixerOp,
+    PhaseOp,
+    PlanOp,
+    RewriteReport,
+    resolve_optimize,
+    run_passes,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .base import QAOAFastSimulatorBase
@@ -47,6 +65,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "PhaseOp",
     "MixerOp",
+    "FusedPhaseMixerOp",
     "ExpectationOp",
     "ExecutionPlan",
     "EngineStats",
@@ -59,35 +78,12 @@ __all__ = [
 EXECUTION_MODES = ("auto", "fused", "looped")
 
 
-# ---------------------------------------------------------------------------
-# Declarative layer ops.
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class PhaseOp:
-    """Apply ``exp(-i γ_l C)`` — one phase sweep of layer ``layer``."""
-
-    layer: int
-
-
-@dataclass(frozen=True)
-class MixerOp:
-    """Apply ``exp(-i β_l M)`` — one mixer sweep of layer ``layer``."""
-
-    layer: int
-    n_trotters: int = 1
-
-
-@dataclass(frozen=True)
-class ExpectationOp:
-    """Reduce every block row to ``Σ_x c[x] |ψ_x|²`` (float64 accumulation)."""
-
-
 def _plan_key(p: int, n_trotters: int, memory_budget: float | None,
-              reduce: bool, precision: str) -> tuple:
+              reduce: bool, precision: str, optimize: str) -> tuple:
     """The plan-cache key — the single definition shared by the engine's
     cache lookup and :attr:`ExecutionPlan.key`."""
-    return (int(p), int(n_trotters), memory_budget, bool(reduce), precision)
+    return (int(p), int(n_trotters), memory_budget, bool(reduce), precision,
+            optimize)
 
 
 # ---------------------------------------------------------------------------
@@ -116,8 +112,13 @@ class ExecutionPlan:
     memory_budget: float | None
     #: whether the plan ends in an objective reduction (ExpectationOp)
     reduce: bool
-    #: the declarative op sequence executed per sub-batch
-    ops: tuple[PhaseOp | MixerOp | ExpectationOp, ...]
+    #: optimizer level the plan was compiled at ("default" or "none")
+    optimize: str
+    #: the declarative op sequence executed per sub-batch (already rewritten
+    #: by the structural optimizer passes when ``optimize != "none"``)
+    ops: tuple[PlanOp, ...]
+    #: per-pass reports of the compile-time rewrites applied to :attr:`ops`
+    rewrites: tuple[RewriteReport, ...]
     #: provider-specific phase-table object(s) resolved at compile time
     #: (a :class:`~repro.fur.diagonal.DiagonalPhaseTable` for single-address-
     #: space backends, a per-rank tuple for the distributed families, or
@@ -131,7 +132,7 @@ class ExecutionPlan:
     def key(self) -> tuple:
         """The cache key this plan is stored under."""
         return _plan_key(self.p, self.n_trotters, self.memory_budget,
-                         self.reduce, self.precision)
+                         self.reduce, self.precision, self.optimize)
 
 
 @dataclass
@@ -144,6 +145,27 @@ class EngineStats:
     blocks_executed: int = 0
     rows_executed: int = 0
     looped_evaluations: int = 0
+    #: FusedPhaseMixerOp executions (fused ops are counted distinctly from
+    #: the split phase/mixer sweeps so rewrite wins are visible in reports)
+    fused_ops_executed: int = 0
+    #: mixer/fused ops executed with a batch-coalesced global exchange
+    coalesced_exchange_ops: int = 0
+    #: zero-angle ops dropped by the per-batch EliminateNoOps pass
+    ops_eliminated: int = 0
+    #: per-pass rewrite totals: pass name -> {"runs", "rewrites",
+    #: "ops_before", "ops_after"} accumulated over every pipeline run
+    rewrites: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def record_rewrites(self, reports: tuple[RewriteReport, ...]) -> None:
+        """Accumulate one pipeline run's per-pass reports."""
+        for report in reports:
+            entry = self.rewrites.setdefault(report.pass_name, {
+                "runs": 0, "rewrites": 0, "ops_before": 0, "ops_after": 0,
+            })
+            entry["runs"] += 1
+            entry["rewrites"] += report.rewrites
+            entry["ops_before"] += report.ops_before
+            entry["ops_after"] += report.ops_after
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot for JSON reports."""
@@ -154,6 +176,11 @@ class EngineStats:
             "blocks_executed": self.blocks_executed,
             "rows_executed": self.rows_executed,
             "looped_evaluations": self.looped_evaluations,
+            "fused_ops_executed": self.fused_ops_executed,
+            "coalesced_exchange_ops": self.coalesced_exchange_ops,
+            "ops_eliminated": self.ops_eliminated,
+            "rewrites": {name: dict(entry)
+                         for name, entry in self.rewrites.items()},
         }
 
 
@@ -176,6 +203,12 @@ class KernelProvider(Protocol):
     supports_fused_engine: bool
     #: whether the mixer consumes a ping-pong scratch block
     _mixer_needs_scratch: bool
+    #: whether :meth:`_apply_phase_mixer_block` is implemented (gates the
+    #: FusePhaseIntoMixer rewrite; mixer-specific — e.g. X-mixer only)
+    supports_fused_phase_mixer: bool
+    #: whether :meth:`_apply_mixer_block_coalesced` is implemented (gates the
+    #: CoalesceExchanges rewrite; only the distributed Alltoall family)
+    supports_coalesced_exchange: bool
 
     def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
         """Rows of the next sub-batch (re-derived as device results accumulate)."""
@@ -197,6 +230,17 @@ class KernelProvider(Protocol):
     def _apply_mixer_block(self, block: Any, betas: np.ndarray,
                            n_trotters: int, scratch: Any) -> None:
         """One mixer sweep over the block."""
+        ...
+
+    def _apply_mixer_block_coalesced(self, block: Any, betas: np.ndarray,
+                                     n_trotters: int, scratch: Any) -> None:
+        """Mixer sweep with batch-coalesced global exchanges (optional)."""
+        ...
+
+    def _apply_phase_mixer_block(self, block: Any, gammas: np.ndarray,
+                                 betas: np.ndarray, op: FusedPhaseMixerOp,
+                                 scratch: Any, plan: ExecutionPlan) -> None:
+        """Fused phase+mixer sweep of one layer (optional kernel)."""
         ...
 
     def _block_expectations(self, block: Any, costs: Any) -> np.ndarray:
@@ -254,31 +298,43 @@ class ExecutionEngine:
 
     def plan(self, p: int, *, n_trotters: int = 1,
              memory_budget: float | None = None,
-             reduce: bool = True) -> ExecutionPlan:
+             reduce: bool = True,
+             optimize: str | None = None) -> ExecutionPlan:
         """The cached plan for a depth/budget tuple, compiling on first use.
 
-        The cache key includes the simulator precision, so tests can assert
-        that a precision change (a new simulator) or a ``p``/``n_trotters``/
-        budget change recompiles while repeated evaluation at the same shape
-        hits the cache.
+        The cache key includes the simulator precision and the ``optimize``
+        level, so tests can assert that a precision change (a new simulator),
+        a ``p``/``n_trotters``/budget change or an optimizer toggle
+        recompiles while repeated evaluation at the same shape hits the
+        cache.  ``optimize=None`` defaults to the owning simulator's knob;
+        with ``"default"`` the structural rewrite passes
+        (:data:`~repro.fur.rewrite.DEFAULT_PASSES`) transform the op list at
+        compile time and the per-pass reports ride along on the plan.
         """
         if p <= 0:
             raise ValueError("p must be positive")
         if n_trotters < 1:
             raise ValueError("n_trotters must be at least 1")
+        optimize = resolve_optimize(self._sim.optimize if optimize is None
+                                    else optimize)
         key = _plan_key(p, n_trotters, memory_budget, reduce,
-                        self._sim.precision)
+                        self._sim.precision, optimize)
         cached = self._plans.get(key)
         if cached is not None:
             self.stats.plan_cache_hits += 1
             return cached
         start = time.perf_counter()
-        ops: list[PhaseOp | MixerOp | ExpectationOp] = []
+        ops: list[PlanOp] = []
         for layer in range(p):
             ops.append(PhaseOp(layer=layer))
             ops.append(MixerOp(layer=layer, n_trotters=int(n_trotters)))
         if reduce:
             ops.append(ExpectationOp())
+        ops = tuple(ops)
+        reports: tuple[RewriteReport, ...] = ()
+        if optimize != "none" and self._sim.supports_fused_engine:
+            ops, reports = run_passes(ops, self._sim, stage="compile")
+            self.stats.record_rewrites(reports)
         # Resolving the phase tables here (rather than per sub-batch) makes
         # the first compile pay the one-time unique-value factorization; the
         # simulator-level cache makes subsequent compiles near-free.
@@ -291,7 +347,9 @@ class ExecutionEngine:
             n_trotters=int(n_trotters),
             memory_budget=memory_budget,
             reduce=bool(reduce),
-            ops=tuple(ops),
+            optimize=optimize,
+            ops=ops,
+            rewrites=reports,
             phase_tables=tables,
             compile_time_s=time.perf_counter() - start,
         )
@@ -326,19 +384,50 @@ class ExecutionEngine:
         return int(n_trotters)
 
     # -- execution -----------------------------------------------------------
-    def _run_ops(self, plan: ExecutionPlan, g_sub: np.ndarray, b_sub: np.ndarray,
+    def _batch_ops(self, plan: ExecutionPlan, g: np.ndarray,
+                   b: np.ndarray) -> tuple[PlanOp, ...]:
+        """The plan's ops specialized to one batch's angle columns.
+
+        Runs the angle-dependent optimizer passes (zero-angle elimination)
+        when the plan was compiled with optimization on; a column is a no-op
+        exactly when it is zero across the *whole* batch, so every sub-batch
+        shares the specialized sequence.
+        """
+        if plan.optimize == "none" or not self._sim.supports_fused_engine:
+            return plan.ops
+        ops, reports = run_passes(plan.ops, self._sim, gammas=g, betas=b,
+                                  stage="execute")
+        self.stats.record_rewrites(reports)
+        self.stats.ops_eliminated += sum(r.ops_before - r.ops_after
+                                         for r in reports)
+        return ops
+
+    def _run_ops(self, plan: ExecutionPlan, ops: tuple[PlanOp, ...],
+                 g_sub: np.ndarray, b_sub: np.ndarray,
                  sv0: np.ndarray | None, staged_costs: Any) -> tuple[Any, np.ndarray | None]:
-        """Drive one sub-batch block through the plan's op sequence."""
+        """Drive one sub-batch block through an op sequence."""
         sim = self._sim
         block = sim._stage_block(sv0, g_sub.shape[0])
         scratch = sim._mixer_scratch(block) if sim._mixer_needs_scratch else None
         values: np.ndarray | None = None
-        for op in plan.ops:
+        for op in ops:
             if isinstance(op, PhaseOp):
                 sim._apply_phase_block(block, g_sub[:, op.layer], plan)
+            elif isinstance(op, FusedPhaseMixerOp):
+                sim._apply_phase_mixer_block(block, g_sub[:, op.layer],
+                                             b_sub[:, op.layer], op, scratch,
+                                             plan)
+                self.stats.fused_ops_executed += 1
+                if op.coalesce:
+                    self.stats.coalesced_exchange_ops += 1
             elif isinstance(op, MixerOp):
-                sim._apply_mixer_block(block, b_sub[:, op.layer],
-                                       op.n_trotters, scratch)
+                if op.coalesce:
+                    sim._apply_mixer_block_coalesced(block, b_sub[:, op.layer],
+                                                     op.n_trotters, scratch)
+                    self.stats.coalesced_exchange_ops += 1
+                else:
+                    sim._apply_mixer_block(block, b_sub[:, op.layer],
+                                           op.n_trotters, scratch)
             else:  # ExpectationOp
                 values = sim._block_expectations(block, staged_costs)
         self.stats.blocks_executed += 1
@@ -362,7 +451,8 @@ class ExecutionEngine:
     def simulate_batch(self, gammas_batch, betas_batch,
                        sv0: np.ndarray | None = None, *,
                        memory_budget: float | None = None,
-                       mode: str = "auto", **kwargs: Any) -> list[Any]:
+                       mode: str = "auto",
+                       optimize: str | None = None, **kwargs: Any) -> list[Any]:
         """Evolve a batch of schedules; one backend result object per schedule."""
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         if self._resolve_mode(mode) == "looped":
@@ -371,10 +461,12 @@ class ExecutionEngine:
                     for gi, bi in zip(g, b)]
         n_trotters = self._fused_kwargs(kwargs)
         plan = self.plan(g.shape[1], n_trotters=n_trotters,
-                         memory_budget=memory_budget, reduce=False)
+                         memory_budget=memory_budget, reduce=False,
+                         optimize=optimize)
+        ops = self._batch_ops(plan, g, b)
         results: list[Any] = []
         for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
-            block, _ = self._run_ops(plan, g[r0:r1], b[r0:r1], sv0, None)
+            block, _ = self._run_ops(plan, ops, g[r0:r1], b[r0:r1], sv0, None)
             results.extend(self._sim._block_results(block))
         return results
 
@@ -382,7 +474,8 @@ class ExecutionEngine:
                           costs: np.ndarray | CompressedDiagonal | None = None,
                           sv0: np.ndarray | None = None, *,
                           memory_budget: float | None = None,
-                          mode: str = "auto", **kwargs: Any) -> np.ndarray:
+                          mode: str = "auto",
+                          optimize: str | None = None, **kwargs: Any) -> np.ndarray:
         """Objective values for a batch of schedules, as a length-``B`` array.
 
         The diagonal is resolved to float64 exactly once for the whole batch
@@ -402,12 +495,15 @@ class ExecutionEngine:
             return out
         n_trotters = self._fused_kwargs(kwargs)
         plan = self.plan(g.shape[1], n_trotters=n_trotters,
-                         memory_budget=memory_budget, reduce=True)
+                         memory_budget=memory_budget, reduce=True,
+                         optimize=optimize)
+        ops = self._batch_ops(plan, g, b)
         out = np.empty(g.shape[0], dtype=np.float64)
         staged = self._sim._stage_batch_costs(resolved)
         try:
             for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
-                block, values = self._run_ops(plan, g[r0:r1], b[r0:r1], sv0, staged)
+                block, values = self._run_ops(plan, ops, g[r0:r1], b[r0:r1],
+                                              sv0, staged)
                 try:
                     out[r0:r1] = values
                 finally:

@@ -92,11 +92,13 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
 
     mixer_name = "x"
     supports_fused_engine = True
+    supports_fused_phase_mixer = True
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  n_ranks: int = 4, block_size: int = DEFAULT_BLOCK_SIZE,
                  parallel_local: bool = False,
-                 precision: str = "double") -> None:
+                 precision: str = "double",
+                 optimize: str = "default") -> None:
         if n_ranks <= 0 or n_ranks & (n_ranks - 1):
             raise ValueError(f"n_ranks must be a positive power of two, got {n_ranks}")
         k = n_ranks.bit_length() - 1
@@ -109,7 +111,8 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
         self._block_size = int(block_size)
         self._parallel_local = bool(parallel_local)
         self.traffic_log: list[TrafficTrace] = []
-        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
+        super().__init__(n_qubits, terms=terms, costs=costs,
+                         precision=precision, optimize=optimize)
 
     # -- construction ------------------------------------------------------------
     @property
@@ -247,19 +250,60 @@ class _DistributedFURXBase(QAOAFastSimulatorBase):
         used (the blocked kernels run in place through the workspaces).
         """
         del n_trotters, scratch
+        self._mixer_block_batch(block, betas, coalesce=False)
+
+    def _apply_mixer_block_coalesced(self, block: list[np.ndarray],
+                                     betas: np.ndarray, n_trotters: int,
+                                     scratch: Any) -> None:
+        """Mixer sweep with the batch-coalesced global exchange (the
+        CoalesceExchanges plan rewrite)."""
+        del n_trotters, scratch
+        self._mixer_block_batch(block, betas, coalesce=True)
+
+    def _mixer_block_batch(self, block: list[np.ndarray], betas: np.ndarray,
+                           coalesce: bool,
+                           phase: tuple[np.ndarray, Any] | None = None) -> None:
+        """One batched mixer sweep; the single body both entry points share.
+
+        ``phase=(gammas, tables)`` optionally prepends the slice-local phase
+        sweep *inside* the same per-rank dispatch (the fused path): one
+        ``_map_ranks`` pass instead of two, with each rank's slice block
+        staying cache-hot between the phase multiply and the first rotation.
+        """
         a_rows, b_rows = su2_x_rotation_batch(betas)
 
         def work(r: int) -> None:
+            if phase is not None:
+                gammas, tables = phase
+                apply_phase_batch_inplace(block[r], self._phase_cost_slices[r],
+                                          gammas, self._workspace[r],
+                                          phase_table=None if tables is None
+                                          else tables[r])
             for q in range(self.n_local_qubits):
                 apply_su2_batch_blocked(block[r], a_rows, b_rows, q,
                                         self._workspace[r])
 
         self._map_ranks(work)
         if self._k_global > 0:
-            self._apply_global_mixer_batch(block, a_rows, b_rows)
+            self._apply_global_mixer_batch(block, a_rows, b_rows,
+                                           coalesce=coalesce)
+
+    def _apply_phase_mixer_block(self, block: list[np.ndarray],
+                                 gammas: np.ndarray, betas: np.ndarray,
+                                 op: Any, scratch: Any, plan: Any) -> None:
+        """FusedPhaseMixerOp kernel over per-rank slice blocks.
+
+        The phase sweep rides the mixer's per-rank dispatch (see
+        :meth:`_mixer_block_batch`); the global step honours the op's
+        ``coalesce`` flag.
+        """
+        del scratch
+        self._mixer_block_batch(block, betas, coalesce=op.coalesce,
+                                phase=(gammas, plan.phase_tables))
 
     def _apply_global_mixer_batch(self, block: list[np.ndarray],
-                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+                                  a_rows: np.ndarray, b_rows: np.ndarray,
+                                  coalesce: bool = False) -> None:
         """Batched rotations on the k global qubits — strategy-specific."""
         raise NotImplementedError
 
@@ -362,20 +406,45 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
 
     backend_name = "gpumpi"
 
+    @property
+    def supports_coalesced_exchange(self) -> bool:
+        """Whether the CoalesceExchanges rewrite may fire for this instance.
+
+        The coalesced exchange *is* the direct algorithm over whole-block
+        slabs, so it only engages when ``alltoall_algorithm="direct"`` (the
+        default).  A non-direct algorithm request (``ring``/``bruck``/
+        ``pairwise``) keeps the per-row path — otherwise the algorithm knob
+        would be silently inert and every traffic trace would degenerate to
+        one direct round, defeating the communication-algorithm comparison
+        the traffic model exists for.
+        """
+        return self.alltoall_algorithm == "direct"
+
+    @property
+    def alltoall_algorithm(self) -> str:
+        """The Alltoall algorithm, fixed at construction.
+
+        Read-only because compiled plans bake the coalesce decision derived
+        from it — a post-construction mutation would silently keep serving
+        plans shaped for the old algorithm out of the cache.
+        """
+        return self._alltoall_algorithm
+
     def __init__(self, n_qubits: int, terms=None, costs=None, *, n_ranks: int = 4,
                  alltoall_algorithm: str = "direct",
                  block_size: int = DEFAULT_BLOCK_SIZE,
                  parallel_local: bool = False,
-                 precision: str = "double") -> None:
+                 precision: str = "double",
+                 optimize: str = "default") -> None:
         if alltoall_algorithm not in ALLTOALL_ALGORITHMS:
             raise ValueError(
                 f"unknown alltoall algorithm {alltoall_algorithm!r}; "
                 f"available: {sorted(ALLTOALL_ALGORITHMS)}"
             )
-        self.alltoall_algorithm = alltoall_algorithm
+        self._alltoall_algorithm = alltoall_algorithm
         super().__init__(n_qubits, terms=terms, costs=costs, n_ranks=n_ranks,
                          block_size=block_size, parallel_local=parallel_local,
-                         precision=precision)
+                         precision=precision, optimize=optimize)
 
     def _apply_global_mixer(self, slices: list[np.ndarray], a: complex, b: complex) -> None:
         # First Alltoall: transpose global and (top-k local) qubits.
@@ -404,11 +473,54 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
             for r in range(self._n_ranks):
                 block[r][i, :] = new_slices[r]
 
+    def _alltoall_block_coalesced(self, block: list[np.ndarray]) -> None:
+        """One Alltoall for the *whole* block (the CoalesceExchanges rewrite).
+
+        Each rank sends its ``(rows, chunk)`` slab for destination ``d`` in
+        one message, so a single collective round moves the entire batch:
+        the message count is ``K(K−1)`` per exchange regardless of the batch
+        size, where the per-row path pays ``rows · K(K−1)``.  Byte volume is
+        identical; the win is the per-message latency (and, in this driver
+        substrate, the per-row dispatch and receive-buffer churn).
+
+        The transposition ``new[d][:, s] = old[s][:, d]`` is a pairwise slab
+        *swap* for every unordered rank pair — the diagonal slabs never move
+        — so it runs fully in place through one reusable ``(rows, chunk)``
+        staging buffer (the same structure as the index-bit-swap strategy's
+        half-slice exchange; Bruck-style multi-hop staging would need a
+        packing pass that costs more than it saves here, so
+        ``alltoall_algorithm`` keeps applying to the per-row path only).
+        The swapped slabs land exactly where the per-row transposition would
+        put them, so results are bitwise identical to :meth:`_alltoall_block`.
+        """
+        size = self._n_ranks
+        rows = block[0].shape[0]
+        chunk = block[0].shape[1] // size
+        trace = TrafficTrace()
+        buf = getattr(self, "_coalesce_swap_buf", None)
+        if buf is None or buf.shape != (rows, chunk) or buf.dtype != block[0].dtype:
+            buf = np.empty((rows, chunk), dtype=block[0].dtype)
+            self._coalesce_swap_buf = buf
+        for r in range(size):
+            for partner in range(r + 1, size):
+                a = block[r][:, partner * chunk:(partner + 1) * chunk]
+                b = block[partner][:, r * chunk:(r + 1) * chunk]
+                np.copyto(buf, a)
+                a[:] = b
+                b[:] = buf
+                trace.add(r, partner, a.nbytes, 0)
+                trace.add(partner, r, a.nbytes, 0)
+        self.traffic_log.append(trace)
+
     def _apply_global_mixer_batch(self, block: list[np.ndarray],
-                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+                                  a_rows: np.ndarray, b_rows: np.ndarray,
+                                  coalesce: bool = False) -> None:
         """Batched Algorithm 4 global step: the rotations between the two
-        Alltoall exchanges cover every schedule in one batched sweep per rank."""
-        self._alltoall_block(block)
+        Alltoall exchanges cover every schedule in one batched sweep per rank.
+        ``coalesce`` selects the block-wide exchange over the per-row one."""
+        exchange = (self._alltoall_block_coalesced if coalesce
+                    else self._alltoall_block)
+        exchange(block)
 
         def work(r: int) -> None:
             for q in range(self._n_qubits - self._k_global, self._n_qubits):
@@ -416,7 +528,7 @@ class QAOAFURXSimulatorGPUMPI(_DistributedFURXBase):
                                         q - self._k_global, self._workspace[r])
 
         self._map_ranks(work)
-        self._alltoall_block(block)
+        exchange(block)
 
 
 class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
@@ -439,15 +551,19 @@ class QAOAFURXSimulatorCUSVMPI(_DistributedFURXBase):
         self.traffic_log.append(trace)
 
     def _apply_global_mixer_batch(self, block: list[np.ndarray],
-                                  a_rows: np.ndarray, b_rows: np.ndarray) -> None:
+                                  a_rows: np.ndarray, b_rows: np.ndarray,
+                                  coalesce: bool = False) -> None:
         """Batched index-bit-swap global step.
 
         The half-slice exchange operates on the state axis of the whole
         ``(rows, local_states)`` block, so every global qubit costs one
         pairwise exchange for *all* schedules at once (rows-independent
         message count — the batched win over the looped default) and one
-        batched SU(2) sweep on the top local qubit.
+        batched SU(2) sweep on the top local qubit.  ``coalesce`` is
+        accepted for signature compatibility and ignored: this strategy's
+        exchange is already block-coalesced by construction.
         """
+        del coalesce
         n_local = self.n_local_qubits
         half = 1 << (n_local - 1)
         trace = TrafficTrace()

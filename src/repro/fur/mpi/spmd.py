@@ -97,15 +97,22 @@ def qaoa_rank_program(comm: Communicator, n_qubits: int,
 def qaoa_rank_program_batch(comm: Communicator, n_qubits: int,
                             terms: list[tuple[float, tuple[int, ...]]],
                             gammas_batch, betas_batch,
-                            precision: str = "double") -> dict:
+                            precision: str = "double",
+                            coalesce: bool = True) -> dict:
     """The fused batched per-rank program: evolve a local slice *block*.
 
     The SPMD mirror of the execution engine's fused distributed path
     (:mod:`repro.fur.engine`): each rank evolves a ``(B, local_states)``
     block through all layers — batched slice-local phase sweeps (unique-value
     phase table when the slice is repetitive), batched local SU(2) rotations,
-    and one alltoall per schedule per exchange for the global qubits — then
-    reduces every schedule to its objective value with one allreduce.
+    and the alltoall exchanges for the global qubits — then reduces every
+    schedule to its objective value with one allreduce.
+
+    With ``coalesce=True`` (the default, mirroring the engine's
+    CoalesceExchanges plan rewrite) each exchange packs the whole block
+    destination-major into *one* alltoall, so the collective count per layer
+    is 2 regardless of the batch size; ``coalesce=False`` keeps the
+    historical one-alltoall-per-schedule path (bitwise-identical results).
     Returns a dict with the rank's block, the length-``B`` ``expectations``
     array (identical on every rank, float64-accumulated) and the alltoall
     count.
@@ -133,6 +140,23 @@ def qaoa_rank_program_batch(comm: Communicator, n_qubits: int,
     workspace = KernelWorkspace(local_states, dtype=spec.complex_dtype)
     n_alltoall = 0
 
+    def exchange(blk: np.ndarray) -> int:
+        """One global-qubit transposition exchange; returns the alltoall count."""
+        if coalesce:
+            # Destination-major packing: all rows' sub-chunks for rank d are
+            # contiguous, so one collective carries the whole batch (the
+            # message count stops scaling with B — same rewrite the engine's
+            # CoalesceExchanges pass applies to the driver-form backend).
+            packed = np.ascontiguousarray(
+                blk.reshape(batch, size, -1).transpose(1, 0, 2)).reshape(-1)
+            recv = comm.alltoall(packed)
+            blk[:] = (recv.reshape(size, batch, -1).transpose(1, 0, 2)
+                      .reshape(batch, local_states))
+            return 1
+        for i in range(batch):
+            blk[i, :] = comm.alltoall(blk[i])
+        return batch
+
     for layer in range(g.shape[1]):
         apply_phase_batch_inplace(block, costs, g[:, layer], workspace,
                                   phase_table=table)
@@ -140,14 +164,10 @@ def qaoa_rank_program_batch(comm: Communicator, n_qubits: int,
         for q in range(n_local):
             apply_su2_batch_blocked(block, a_rows, b_rows, q, workspace)
         if k > 0:
-            for i in range(batch):
-                block[i, :] = comm.alltoall(block[i])
-            n_alltoall += batch
+            n_alltoall += exchange(block)
             for q in range(n_qubits - k, n_qubits):
                 apply_su2_batch_blocked(block, a_rows, b_rows, q - k, workspace)
-            for i in range(batch):
-                block[i, :] = comm.alltoall(block[i])
-            n_alltoall += batch
+            n_alltoall += exchange(block)
 
     # Float64 accumulation regardless of the state precision.
     local = expectation_batch_inplace(block, costs64, workspace)
@@ -185,18 +205,21 @@ def run_distributed_qaoa_batch(n_qubits: int,
                                terms: Iterable[tuple[float, Iterable[int]]],
                                gammas_batch, betas_batch,
                                n_ranks: int = 4,
-                               precision: str = "double") -> dict:
+                               precision: str = "double",
+                               coalesce: bool = True) -> dict:
     """Run the fused batched SPMD program on a :class:`ThreadCluster`.
 
-    Returns a dict with the per-schedule ``expectations`` array, the gathered
-    ``(B, 2^n)`` ``statevectors`` block and the per-rank result dicts
-    (``ranks``).
+    ``coalesce`` selects the batch-coalesced alltoall (see
+    :func:`qaoa_rank_program_batch`).  Returns a dict with the per-schedule
+    ``expectations`` array, the gathered ``(B, 2^n)`` ``statevectors`` block
+    and the per-rank result dicts (``ranks``).
     """
     term_list = [(float(w), tuple(idx)) for w, idx in terms]
     cluster = ThreadCluster(n_ranks)
     results = cluster.run(
         qaoa_rank_program_batch,
-        [(n_qubits, term_list, gammas_batch, betas_batch, precision)] * n_ranks)
+        [(n_qubits, term_list, gammas_batch, betas_batch, precision,
+          coalesce)] * n_ranks)
     results.sort(key=lambda r: r["rank"])
     full = np.concatenate([r["statevector_block"] for r in results], axis=1)
     return {

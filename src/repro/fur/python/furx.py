@@ -28,6 +28,7 @@ __all__ = [
     "furx",
     "furx_all",
     "furx_all_batch",
+    "furx_phase_all_batch",
     "su2_x_rotation",
     "su2_x_rotation_batch",
     "fwht_inplace",
@@ -207,6 +208,18 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
     ``scratch`` must be a buffer with ``block``'s shape and dtype (allocated
     here when omitted; callers evolving many layers should preallocate one).
     """
+    rows, _ = _validate_group_kernel_block(block, n_qubits, group_size)
+    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
+    # Group unitaries at the block's dtype: the stacked matmuls then dispatch
+    # to the matching-precision gemm instead of a widened fallback.
+    u = _su2_batch_matrices(betas_arr, dtype=block.dtype)
+    scratch = _check_scratch(block, scratch)
+    return _group_pass_loop(block, scratch, u, n_qubits, 0, group_size)
+
+
+def _validate_group_kernel_block(block: np.ndarray, n_qubits: int,
+                                 group_size: int) -> tuple[int, int]:
+    """Shared argument validation of the gemm-grouped batch kernels."""
     if block.ndim != 2:
         raise ValueError(f"batched kernel expects a (B, 2^n) block, got shape {block.shape}")
     rows, n_states = block.shape
@@ -216,16 +229,30 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
         )
     if group_size < 1:
         raise ValueError("group_size must be at least 1")
-    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
-    # Group unitaries at the block's dtype: the stacked matmuls then dispatch
-    # to the matching-precision gemm instead of a widened fallback.
-    u = _su2_batch_matrices(betas_arr, dtype=block.dtype)
+    return rows, n_states
+
+
+def _check_scratch(block: np.ndarray, scratch: np.ndarray | None) -> np.ndarray:
     if scratch is None:
-        scratch = np.empty_like(block)
-    elif scratch.shape != block.shape or scratch.dtype != block.dtype:
+        return np.empty_like(block)
+    if scratch.shape != block.shape or scratch.dtype != block.dtype:
         raise ValueError("scratch must match the block's shape and dtype")
-    src, dst = block, scratch
-    q = 0
+    return scratch
+
+
+def _group_pass_loop(block: np.ndarray, scratch: np.ndarray, u: np.ndarray,
+                     n_qubits: int, q_start: int, group_size: int,
+                     start_in_scratch: bool = False) -> np.ndarray:
+    """The gemm-grouped pass loop over qubits ``q_start … n−1``.
+
+    Passes ping-pong between ``block`` and ``scratch``; the final result is
+    always written back into ``block``.  ``start_in_scratch`` indicates the
+    current state lives in ``scratch`` (used by the fused phase kernel,
+    whose phase multiply lands there).
+    """
+    rows, n_states = block.shape
+    src, dst = (scratch, block) if start_in_scratch else (block, scratch)
+    q = q_start
     while q < n_qubits:
         k = min(group_size, n_qubits - q)
         group_u = _group_kron(u, k)
@@ -245,6 +272,98 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
     if src is not block:
         np.copyto(block, src)
     return block
+
+
+#: Amplitudes (summed over all rows) per chunk of the fused phase+first-pass
+#: sweep — ~4 MiB of complex128 (8192 columns at the benchmark's B=32), the
+#: measured sweet spot where the freshly phased chunk is still cache-warm for
+#: the first group gemm while the per-chunk dispatch overhead stays amortized.
+_FUSED_PHASE_CHUNK: int = 1 << 18
+
+
+def furx_phase_all_batch(block: np.ndarray, gammas: np.ndarray, betas: np.ndarray,
+                         n_qubits: int, *,
+                         phase_table=None, costs: np.ndarray | None = None,
+                         group_size: int = BATCH_GROUP_QUBITS,
+                         scratch: np.ndarray | None = None,
+                         phase_buf: np.ndarray | None = None,
+                         chunk: int = _FUSED_PHASE_CHUNK) -> np.ndarray:
+    """Fused layer kernel: per-row ``exp(-i β_b Σ X_i) · exp(-i γ_b C)``.
+
+    The separate batched phase sweep re-streams the whole ``(B, 2^n)`` block
+    through memory before the mixer touches it; here the phase rides the
+    mixer's chunk traversal instead.  The state axis is walked in cache-
+    sized column chunks: each chunk is phased in place (factors gathered
+    from the unique-value table when one applies, direct ``exp`` over
+    ``costs`` otherwise) and the mixer's leading stride-1 group gemm runs on
+    it immediately, reading the freshly phased chunk cache-hot through a
+    contiguous view — phase + first pass stream the block exactly once.
+    Only that leading pass joins the chunk loop: chunking the wider-stride
+    passes splits them into strided sub-gemms that fall off the BLAS fast
+    path and cost more than the cache locality buys (measured).  The
+    remaining passes run the standard ping-pong loop, with the chunk-local
+    pass alternating buffers exactly like the global loop would — parity
+    works out with no extra copy-back.  ``phase_buf``
+    optionally supplies the per-chunk gather buffer (callers on the hot
+    path pass a persistent one — the workspace scratch or the simulator's
+    phase buffer — so warmed-up layers allocate nothing).  Numerics are
+    identical to ``apply_phase`` followed by :func:`furx_all_batch`: the
+    batched group gemms are per-group independent, so chunking the group
+    axis does not change a single floating-point operation.
+    """
+    rows, n_states = _validate_group_kernel_block(block, n_qubits, group_size)
+    if phase_table is None and costs is None:
+        raise ValueError("provide a phase_table or a costs diagonal")
+    gammas_arr = np.broadcast_to(np.asarray(gammas, dtype=np.float64), (rows,))
+    betas_arr = np.broadcast_to(np.asarray(betas, dtype=np.float64), (rows,))
+    u = _su2_batch_matrices(betas_arr, dtype=block.dtype)
+    scratch = _check_scratch(block, scratch)
+    if phase_table is not None:
+        factors = phase_table.factors_batch(gammas_arr, dtype=block.dtype)
+        inverse = phase_table.inverse
+    else:
+        coeff = (-1j * gammas_arr).astype(block.dtype)
+    # Per-row chunk width: a power of two so every chunk-local pass's group
+    # extent divides it, shrunk to a caller-provided gather buffer rather
+    # than allocating a bigger one (warmed-up layers stay allocation-free).
+    cols = max(1, chunk // max(rows, 1))
+    cols = 1 << (cols.bit_length() - 1)
+    if (phase_buf is not None and phase_buf.ndim == 1 and phase_buf.shape[0] >= 1
+            and phase_buf.dtype == block.dtype):
+        cols = min(cols, 1 << (int(phase_buf.shape[0]).bit_length() - 1))
+        pbuf = phase_buf
+    else:
+        pbuf = None
+    cols = min(cols, n_states)
+    if pbuf is None or pbuf.shape[0] < cols:
+        pbuf = np.empty(cols, dtype=block.dtype)
+    # At most the leading stride-1 pass runs inside the chunk loop (see the
+    # docstring for why wider-stride passes stay global).
+    k = min(group_size, n_qubits)
+    dim = 1 << k
+    fuse_first_pass = dim <= cols
+    if fuse_first_pass:
+        gmat = _group_kron(u, k).transpose(0, 2, 1)
+        view_src = block.reshape(rows, -1, dim)
+        view_dst = scratch.reshape(rows, -1, dim)
+    for s in range(0, n_states, cols):
+        e = min(s + cols, n_states)
+        buf = pbuf[: e - s]
+        for r in range(rows):
+            if phase_table is not None:
+                np.take(factors[r], inverse[s:e], out=buf)
+            else:
+                np.multiply(costs[s:e], coeff[r], out=buf)
+                np.exp(buf, out=buf)
+            block[r, s:e] *= buf
+        if fuse_first_pass:
+            np.matmul(view_src[:, s // dim:e // dim], gmat,
+                      out=view_dst[:, s // dim:e // dim])
+    # Continue the ping-pong from wherever the fused pass left the state
+    # (scratch when the first pass ran inside the chunk loop).
+    return _group_pass_loop(block, scratch, u, n_qubits,
+                            k if fuse_first_pass else 0, group_size,
+                            start_in_scratch=fuse_first_pass)
 
 
 def fwht_inplace(vector: np.ndarray) -> np.ndarray:

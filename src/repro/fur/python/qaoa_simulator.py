@@ -29,7 +29,7 @@ from typing import Any
 import numpy as np
 
 from ..base import QAOAFastSimulatorBase, validate_angles
-from .furx import furx_all, furx_all_batch
+from .furx import furx_all, furx_all_batch, furx_phase_all_batch
 from .furxy import furxy_complete, furxy_complete_batch, furxy_ring, furxy_ring_batch
 
 __all__ = [
@@ -96,14 +96,27 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
         return sv
 
     # -- kernel-provider hooks (driven by repro.fur.engine) -------------------
+    #: lazily-allocated phase gather buffer (see :meth:`_gather_buffer`)
+    _phase_buf: np.ndarray | None = None
+
     def _stage_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
         sv = self._validate_sv0(sv0)
-        # One phase gather buffer per sub-batch, reused across all p layers
-        # and dropped with the block (never retained at state-vector size
-        # beyond the batch).
-        self._phase_buf = np.empty(self._n_states,
-                                   dtype=self._precision.complex_dtype)
+        self._phase_buf = None  # (re)allocated lazily on first phase sweep
         return np.repeat(sv[None, :], rows, axis=0)
+
+    def _gather_buffer(self) -> np.ndarray:
+        """The per-sub-batch phase gather buffer, allocated on first use.
+
+        Shared by the split phase sweep and the fused phase+mixer kernel
+        (one allocation per sub-batch, reused across all ``p`` layers), and
+        lazy so plans whose phase ops were all eliminated never pay for a
+        state-vector-sized allocation; dropped with the block by the
+        reduction hooks so it is never retained beyond the batch.
+        """
+        if self._phase_buf is None:
+            self._phase_buf = np.empty(self._n_states,
+                                       dtype=self._precision.complex_dtype)
+        return self._phase_buf
 
     def _mixer_scratch(self, block: np.ndarray) -> np.ndarray:
         return np.empty_like(block)
@@ -123,7 +136,7 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
         rows, n = block.shape
         if table is not None:
             factors = table.factors_batch(gammas, dtype=block.dtype)
-            buf = self._phase_buf
+            buf = self._gather_buffer()
             for r in range(rows):
                 np.take(factors[r], table.inverse, out=buf)
                 block[r] *= buf
@@ -181,6 +194,7 @@ class QAOAFURXSimulator(_QAOAFURPythonSimulatorBase):
 
     mixer_name = "x"
     _mixer_needs_scratch = True
+    supports_fused_phase_mixer = True
 
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         # The X-mixer factors commute, so Trotterization is exact and unused.
@@ -189,6 +203,15 @@ class QAOAFURXSimulator(_QAOAFURPythonSimulatorBase):
     def _apply_mixer_block(self, block: np.ndarray, betas: np.ndarray,
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         furx_all_batch(block, betas, self._n_qubits, scratch=scratch)
+
+    def _apply_phase_mixer_block(self, block: np.ndarray, gammas: np.ndarray,
+                                 betas: np.ndarray, op: Any,
+                                 scratch: np.ndarray | None, plan: Any) -> None:
+        """FusedPhaseMixerOp kernel: the phase rides the first gemm pass."""
+        furx_phase_all_batch(block, gammas, betas, self._n_qubits,
+                             phase_table=plan.phase_tables,
+                             costs=self._phase_costs(), scratch=scratch,
+                             phase_buf=self._gather_buffer())
 
 
 class QAOAFURXYRingSimulator(_QAOAFURPythonSimulatorBase):

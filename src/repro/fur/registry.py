@@ -104,6 +104,13 @@ class BackendSpec:
         Simulation precisions the family implements (``"double"`` and/or
         ``"single"`` — see :mod:`repro.fur.precision`).  Defaults to
         double-only; backends must opt in to the complex64 path.
+    plan_rewrites:
+        Names of the plan-rewrite optimizer passes (:mod:`repro.fur.rewrite`)
+        at least one of the family's simulator classes has kernels for
+        (e.g. ``"fuse-phase-mixer"``, ``"coalesce-exchanges"``).  Capability
+        *metadata* for introspection — the authoritative per-class gate is
+        the provider attribute the pass checks at compile time (kernels may
+        be mixer-specific).
     priority:
         Resolution order for ``backend="auto"`` — highest available priority
         wins.
@@ -118,6 +125,7 @@ class BackendSpec:
     device: str = "cpu"
     distributed: bool = False
     precisions: tuple[str, ...] = ("double",)
+    plan_rewrites: tuple[str, ...] = ()
     priority: int = 0
     description: str = ""
     _classes: dict[str, type] | None = field(default=None, repr=False)
@@ -130,6 +138,10 @@ class BackendSpec:
     def supports_precision(self, precision: str) -> bool:
         """Whether this family implements the given simulation precision."""
         return resolve_precision(precision).name in self.precisions
+
+    def supports_rewrite(self, name: str) -> bool:
+        """Whether the family advertises kernels for one plan rewrite."""
+        return name in self.plan_rewrites
 
     @property
     def available(self) -> bool:
@@ -211,6 +223,7 @@ class BackendRegistry:
                          mixers: Iterable[str] = ("x",), device: str = "cpu",
                          distributed: bool = False,
                          precisions: Iterable[str] = ("double",),
+                         plan_rewrites: Iterable[str] = (),
                          priority: int = 0,
                          description: str = "",
                          overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
@@ -230,6 +243,7 @@ class BackendRegistry:
                     device=device,
                     distributed=distributed,
                     precisions=tuple(resolve_precision(p).name for p in precisions),
+                    plan_rewrites=tuple(plan_rewrites),
                     priority=priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
                 ),
@@ -263,9 +277,11 @@ class BackendRegistry:
             if spec.distributed:
                 tags.append("distributed")
             alias_note = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+            rewrite_note = (f" rewrites={','.join(spec.plan_rewrites)}"
+                            if spec.plan_rewrites else "")
             lines.append(
                 f"{name:>10}  [{'/'.join(tags)}] mixers={','.join(spec.mixers)} "
-                f"precisions={','.join(spec.precisions)} "
+                f"precisions={','.join(spec.precisions)}{rewrite_note} "
                 f"priority={spec.priority}{alias_note}  {spec.description}"
             )
         return "\n".join(lines)
@@ -477,6 +493,7 @@ def simulator(n_qubits: int,
               backend: str | type | Any = "auto",
               mixer: str = "x",
               precision: str | None = None,
+              optimize: str | None = None,
               **simulator_kwargs: Any) -> QAOAFastSimulatorBase:
     """Construct a fast QAOA simulator — the package's single entry point.
 
@@ -504,13 +521,21 @@ def simulator(n_qubits: int,
         envelope — see the README's Precision section).  When omitted, an
         already-constructed simulator instance passes through at whatever
         precision it was built with; an explicit value must match it.
+    optimize:
+        ``"default"`` (plan-rewrite optimizer passes enabled — the default
+        when unspecified) or ``"none"`` (compiled execution plans keep the
+        unrewritten op stream; the pinned baseline of the parity harness).
+        Per-call overridable on the batched entry points.
     simulator_kwargs:
         Forwarded to the backend constructor (e.g. ``block_size`` for the
         ``c`` family, ``n_ranks`` for the distributed families).
     """
     from .base import QAOAFastSimulatorBase  # deferred: base imports first
+    from .rewrite import resolve_optimize
 
     spec_precision = resolve_precision(precision)
+    if optimize is not None:
+        optimize = resolve_optimize(optimize)
     if isinstance(backend, QAOAFastSimulatorBase):
         # An unspecified precision passes the instance through at whatever
         # precision it was built with; only an explicit request is checked.
@@ -519,6 +544,12 @@ def simulator(n_qubits: int,
                 f"simulator instance runs at {backend.precision!r} precision "
                 f"but {spec_precision.name!r} was requested; construct a new "
                 "simulator instead of passing an instance"
+            )
+        if optimize is not None and optimize != backend.optimize:
+            raise ValueError(
+                f"simulator instance runs at optimize={backend.optimize!r} "
+                f"but {optimize!r} was requested; construct a new simulator "
+                "instead of passing an instance (or override per call)"
             )
         return backend
     if isinstance(backend, str):
@@ -535,4 +566,8 @@ def simulator(n_qubits: int,
         # Only forwarded when non-default so third-party simulator classes
         # without a ``precision`` keyword keep working through the facade.
         simulator_kwargs["precision"] = spec_precision.name
+    if optimize is not None and optimize != "default":
+        # Same convention as ``precision``: only a non-default level is
+        # forwarded, so classes without an ``optimize`` keyword keep working.
+        simulator_kwargs["optimize"] = optimize
     return cls(n_qubits, terms=terms, costs=costs, **simulator_kwargs)

@@ -1,0 +1,286 @@
+"""Plan-rewrite optimizer passes for the execution engine.
+
+The declarative :class:`ExecutionPlan` of :mod:`repro.fur.engine` makes the
+op stream itself a datum, so the memory-traffic optimizations the paper's
+profile points at can be expressed as *rewrites* over the op list instead of
+special cases inside each backend's kernels:
+
+* :class:`FusePhaseIntoMixer` merges each layer's :class:`PhaseOp` into the
+  following :class:`MixerOp`, emitting a :class:`FusedPhaseMixerOp` — the
+  phase multiply then rides the first mixer sweep of the layer (one fewer
+  full read-modify-write of the state block per layer) through the
+  provider's optional ``_apply_phase_mixer_block`` kernel;
+* :class:`CoalesceExchanges` marks mixer ops so the distributed Alltoall
+  strategy exchanges the whole ``(rows, local_states)`` block at once — one
+  collective per exchange instead of one per schedule row, making the
+  message count batch-size independent (what the index-bit-swap family
+  already does natively);
+* :class:`EliminateNoOps` drops zero-angle phase/mixer ops (``exp(0) = I``
+  exactly): an angle-dependent pass that runs per batch, after the
+  structural passes, and may demote a fused op back to its surviving half.
+
+Every pass is *capability-gated* on the concrete simulator: a backend that
+does not implement the fused kernel (``supports_fused_phase_mixer``) or the
+coalesced exchange (``supports_coalesced_exchange``) keeps the split ops and
+stays numerically pinned by the same parity harness as everyone else.
+Whether the pipeline runs at all is the ``optimize="default"|"none"`` knob
+carried by simulators, plans and the plan-cache key.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "PhaseOp",
+    "MixerOp",
+    "FusedPhaseMixerOp",
+    "ExpectationOp",
+    "PlanOp",
+    "OPTIMIZE_LEVELS",
+    "resolve_optimize",
+    "RewriteReport",
+    "RewritePass",
+    "FusePhaseIntoMixer",
+    "CoalesceExchanges",
+    "EliminateNoOps",
+    "DEFAULT_PASSES",
+    "run_passes",
+]
+
+#: Accepted values of the ``optimize`` knob (simulator constructor, batched
+#: entry points and the plan-cache key).
+OPTIMIZE_LEVELS = ("default", "none")
+
+
+def resolve_optimize(optimize: str) -> str:
+    """Validate an ``optimize`` level name."""
+    if optimize not in OPTIMIZE_LEVELS:
+        raise ValueError(
+            f"unknown optimize level {optimize!r}; expected one of {OPTIMIZE_LEVELS}"
+        )
+    return optimize
+
+
+# ---------------------------------------------------------------------------
+# Declarative layer ops (the vocabulary plans are written in).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PhaseOp:
+    """Apply ``exp(-i γ_l C)`` — one phase sweep of layer ``layer``."""
+
+    layer: int
+
+
+@dataclass(frozen=True)
+class MixerOp:
+    """Apply ``exp(-i β_l M)`` — one mixer sweep of layer ``layer``.
+
+    ``coalesce`` asks a distributed provider to exchange the whole batch
+    block per global-qubit step instead of one row at a time (set by
+    :class:`CoalesceExchanges`; meaningless for single-address-space
+    backends and always ``False`` there).
+    """
+
+    layer: int
+    n_trotters: int = 1
+    coalesce: bool = False
+
+
+@dataclass(frozen=True)
+class FusedPhaseMixerOp:
+    """Apply ``exp(-i β_l M) · exp(-i γ_l C)`` in one fused sweep.
+
+    Emitted by :class:`FusePhaseIntoMixer`; executed through the provider's
+    ``_apply_phase_mixer_block`` kernel, which folds the phase multiply into
+    the first mixer pass over the block.
+    """
+
+    layer: int
+    n_trotters: int = 1
+    coalesce: bool = False
+
+
+@dataclass(frozen=True)
+class ExpectationOp:
+    """Reduce every block row to ``Σ_x c[x] |ψ_x|²`` (float64 accumulation)."""
+
+
+#: Union of the op types a plan may contain.
+PlanOp = PhaseOp | MixerOp | FusedPhaseMixerOp | ExpectationOp
+
+
+# ---------------------------------------------------------------------------
+# The pass framework.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RewriteReport:
+    """What one pass did to one op list (feeds ``EngineStats.rewrites``)."""
+
+    pass_name: str
+    ops_before: int
+    ops_after: int
+    rewrites: int
+
+
+class RewritePass(abc.ABC):
+    """One rewrite over an op tuple.
+
+    ``needs_angles`` splits the pipeline into the *structural* passes (run
+    once at plan-compile time, results cached inside the plan) and the
+    *angle-dependent* passes (run per batch, because the angles only arrive
+    at execution time).
+    """
+
+    #: stable name used in reports, stats and ``BackendSpec.plan_rewrites``
+    name: str = "rewrite"
+    #: whether the pass needs the batch's angle columns to decide anything
+    needs_angles: bool = False
+
+    @abc.abstractmethod
+    def run(self, ops: tuple[PlanOp, ...], simulator: Any, *,
+            gammas: np.ndarray | None = None,
+            betas: np.ndarray | None = None) -> tuple[tuple[PlanOp, ...], int]:
+        """Rewrite ``ops``; returns the new tuple and the rewrite count."""
+
+
+class FusePhaseIntoMixer(RewritePass):
+    """Merge each layer's phase sweep into its mixer sweep.
+
+    ``PhaseOp(l)`` immediately followed by ``MixerOp(l)`` becomes one
+    :class:`FusedPhaseMixerOp` (preserving ``n_trotters`` and a previously
+    set ``coalesce`` flag).  Gated on the provider's
+    ``supports_fused_phase_mixer`` attribute — mixer families without the
+    fused kernel (e.g. the XY mixers) keep the split ops.
+    """
+
+    name = "fuse-phase-mixer"
+
+    def run(self, ops, simulator, *, gammas=None, betas=None):
+        if not getattr(simulator, "supports_fused_phase_mixer", False):
+            return ops, 0
+        out: list[PlanOp] = []
+        rewrites = 0
+        i = 0
+        while i < len(ops):
+            op = ops[i]
+            nxt = ops[i + 1] if i + 1 < len(ops) else None
+            if (isinstance(op, PhaseOp) and isinstance(nxt, MixerOp)
+                    and nxt.layer == op.layer):
+                out.append(FusedPhaseMixerOp(layer=op.layer,
+                                             n_trotters=nxt.n_trotters,
+                                             coalesce=nxt.coalesce))
+                rewrites += 1
+                i += 2
+            else:
+                out.append(op)
+                i += 1
+        return tuple(out), rewrites
+
+
+class CoalesceExchanges(RewritePass):
+    """Mark every mixer op for block-wide global-qubit exchanges.
+
+    Rewrites ``coalesce=False`` mixer and fused ops to ``coalesce=True`` so
+    the Alltoall-strategy provider performs one collective over the whole
+    ``(rows, local_states)`` block per exchange — the message count then no
+    longer scales with the batch size.  Gated on
+    ``supports_coalesced_exchange`` (only the Alltoall family sets it; the
+    index-bit-swap family already exchanges whole blocks natively).
+    """
+
+    name = "coalesce-exchanges"
+
+    def run(self, ops, simulator, *, gammas=None, betas=None):
+        if not getattr(simulator, "supports_coalesced_exchange", False):
+            return ops, 0
+        out: list[PlanOp] = []
+        rewrites = 0
+        for op in ops:
+            if isinstance(op, (MixerOp, FusedPhaseMixerOp)) and not op.coalesce:
+                out.append(replace(op, coalesce=True))
+                rewrites += 1
+            else:
+                out.append(op)
+        return tuple(out), rewrites
+
+
+class EliminateNoOps(RewritePass):
+    """Drop phase/mixer ops whose angle column is exactly zero.
+
+    ``exp(-i·0·C)`` and ``exp(-i·0·M)`` are the identity *exactly* (for all
+    mixer families — no Trotter error at zero angle), so a layer whose γ or
+    β column is all-zero across the batch can skip the corresponding sweep.
+    A fused op with one zero half is demoted back to its surviving half.
+    Runs per batch (``needs_angles``), after the structural passes.
+    """
+
+    name = "eliminate-noops"
+    needs_angles = True
+
+    def run(self, ops, simulator, *, gammas=None, betas=None):
+        if gammas is None or betas is None:
+            raise ValueError("EliminateNoOps needs the batch angle columns")
+        zero_g = ~np.any(gammas != 0.0, axis=0)
+        zero_b = ~np.any(betas != 0.0, axis=0)
+        out: list[PlanOp] = []
+        rewrites = 0
+        for op in ops:
+            if isinstance(op, PhaseOp) and zero_g[op.layer]:
+                rewrites += 1
+            elif isinstance(op, MixerOp) and zero_b[op.layer]:
+                rewrites += 1
+            elif isinstance(op, FusedPhaseMixerOp) and (zero_g[op.layer]
+                                                        or zero_b[op.layer]):
+                rewrites += 1
+                if not zero_b[op.layer]:
+                    out.append(MixerOp(layer=op.layer, n_trotters=op.n_trotters,
+                                       coalesce=op.coalesce))
+                elif not zero_g[op.layer]:
+                    out.append(PhaseOp(layer=op.layer))
+                # both halves zero: the whole layer is the identity
+            else:
+                out.append(op)
+        return tuple(out), rewrites
+
+
+#: The default pipeline, in application order.  Structural passes first
+#: (cached inside compiled plans), then the angle-dependent specialization
+#: (re-run per batch).
+DEFAULT_PASSES: tuple[RewritePass, ...] = (
+    FusePhaseIntoMixer(),
+    CoalesceExchanges(),
+    EliminateNoOps(),
+)
+
+
+def run_passes(ops: tuple[PlanOp, ...], simulator: Any, *,
+               gammas: np.ndarray | None = None,
+               betas: np.ndarray | None = None,
+               passes: tuple[RewritePass, ...] = DEFAULT_PASSES,
+               stage: str = "compile") -> tuple[tuple[PlanOp, ...],
+                                                tuple[RewriteReport, ...]]:
+    """Run one stage of the pipeline over an op tuple.
+
+    ``stage="compile"`` runs the structural (angle-independent) passes;
+    ``stage="execute"`` runs the angle-dependent ones against the batch's
+    ``(B, p)`` angle arrays.  Returns the rewritten tuple plus one
+    :class:`RewriteReport` per pass that ran.
+    """
+    if stage not in ("compile", "execute"):
+        raise ValueError(f"unknown rewrite stage {stage!r}")
+    reports: list[RewriteReport] = []
+    for rewrite in passes:
+        if rewrite.needs_angles != (stage == "execute"):
+            continue
+        before = len(ops)
+        ops, rewrites = rewrite.run(ops, simulator, gammas=gammas, betas=betas)
+        reports.append(RewriteReport(pass_name=rewrite.name, ops_before=before,
+                                     ops_after=len(ops), rewrites=rewrites))
+    return ops, tuple(reports)

@@ -27,6 +27,7 @@ from .device import DeviceArray
 __all__ = [
     "device_furx_all",
     "device_furx_all_batch",
+    "device_furx_phase_all_batch",
     "device_furxy_ring",
     "device_furxy_ring_batch",
     "device_furxy_complete",
@@ -170,6 +171,29 @@ def device_furx_all_batch(svb: DeviceArray, betas: np.ndarray, n_qubits: int,
 
     furx_all_batch(svb.data, betas, n_qubits, scratch=scratch)
     svb.device.charge_kernel(2 * svb.nbytes * n_qubits, launches=n_qubits)
+    return svb
+
+
+def device_furx_phase_all_batch(svb: DeviceArray, costs: DeviceArray,
+                                gammas: np.ndarray, betas: np.ndarray,
+                                n_qubits: int, workspace: KernelWorkspace,
+                                phase_table=None,
+                                scratch: np.ndarray | None = None) -> DeviceArray:
+    """Fused phase + transverse-field mixer over a device block.
+
+    The phase multiply rides the first mixer sweep (the FusePhaseIntoMixer
+    plan rewrite), so the modeled traffic is ``n`` read-modify-writes of the
+    block plus one diagonal read — one full block RMW and one kernel launch
+    fewer than the split phase + mixer kernels.
+    """
+    from ..python.furx import furx_phase_all_batch
+
+    _check_device_pair(svb, costs)
+    furx_phase_all_batch(svb.data, gammas, betas, n_qubits,
+                         phase_table=phase_table, costs=costs.data,
+                         scratch=scratch, phase_buf=workspace.phase_scratch)
+    svb.device.charge_kernel(2 * svb.nbytes * n_qubits + costs.nbytes,
+                             launches=n_qubits)
     return svb
 
 

@@ -37,6 +37,7 @@ from .kernels import (
     device_expectation_batch,
     device_furx_all,
     device_furx_all_batch,
+    device_furx_phase_all_batch,
     device_furxy_complete,
     device_furxy_complete_batch,
     device_furxy_ring,
@@ -64,10 +65,12 @@ class _QAOAFURGPUSimulatorBase(QAOAFastSimulatorBase):
                  device: SimulatedDevice | None = None,
                  device_spec: DeviceSpec = A100_80GB,
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 precision: str = "double") -> None:
+                 precision: str = "double",
+                 optimize: str = "default") -> None:
         self._device = device if device is not None else SimulatedDevice(device_spec)
         self._block_size = int(block_size)
-        super().__init__(n_qubits, terms=terms, costs=costs, precision=precision)
+        super().__init__(n_qubits, terms=terms, costs=costs,
+                         precision=precision, optimize=optimize)
 
     # -- construction hooks ----------------------------------------------------
     def _precompute_diagonal(self, terms) -> np.ndarray:
@@ -240,6 +243,7 @@ class QAOAFURXSimulatorGPU(_QAOAFURGPUSimulatorBase):
 
     mixer_name = "x"
     _mixer_needs_scratch = True
+    supports_fused_phase_mixer = True
 
     def _apply_mixer(self, sv: DeviceArray, beta: float, n_trotters: int) -> None:
         device_furx_all(sv, beta, self._n_qubits, self._workspace)
@@ -248,6 +252,15 @@ class QAOAFURXSimulatorGPU(_QAOAFURGPUSimulatorBase):
                            n_trotters: int, scratch: np.ndarray | None) -> None:
         device_furx_all_batch(svb, betas, self._n_qubits, self._workspace,
                               scratch=scratch)
+
+    def _apply_phase_mixer_block(self, svb: DeviceArray, gammas: np.ndarray,
+                                 betas: np.ndarray, op: Any,
+                                 scratch: np.ndarray | None, plan: Any) -> None:
+        """FusedPhaseMixerOp kernel: one fewer block RMW on the device clock."""
+        device_furx_phase_all_batch(svb, self._costs_device, gammas, betas,
+                                    self._n_qubits, self._workspace,
+                                    phase_table=plan.phase_tables,
+                                    scratch=scratch)
 
 
 class QAOAFURXYRingSimulatorGPU(_QAOAFURGPUSimulatorBase):

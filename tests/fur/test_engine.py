@@ -37,7 +37,7 @@ def rng():
 class TestPlanCompilation:
     def test_ops_sequence_is_declarative(self):
         sim = repro.simulator(N, terms=labs.get_terms(N), backend="python")
-        plan = sim.engine.plan(3, reduce=True)
+        plan = sim.engine.plan(3, reduce=True, optimize="none")
         assert plan.ops == (
             PhaseOp(0), MixerOp(0, 1),
             PhaseOp(1), MixerOp(1, 1),
@@ -46,6 +46,7 @@ class TestPlanCompilation:
         )
         assert plan.p == 3 and plan.reduce
         assert plan.mixer == "x" and plan.precision == "double"
+        assert plan.optimize == "none" and plan.rewrites == ()
         assert plan.compile_time_s >= 0.0
 
     def test_simulate_plan_has_no_reduction(self):
@@ -108,7 +109,9 @@ class TestPlanCacheSemantics:
         kd = double.engine.plan(2).key
         ks = single.engine.plan(2).key
         assert kd != ks
-        assert kd[:-1] == ks[:-1]  # only the precision component differs
+        # only the precision component differs (the key ends in
+        # (..., precision, optimize))
+        assert kd[:-2] == ks[:-2] and kd[-1] == ks[-1]
 
     def test_clear_plans_forces_recompile(self):
         sim = repro.simulator(N, terms=labs.get_terms(N), backend="python")
@@ -229,7 +232,22 @@ class TestDistributedFused:
                   for g, b in zip(gb, bb)]
         np.testing.assert_allclose(out["statevectors"], np.stack(states),
                                    atol=1e-12)
-        assert out["ranks"][0]["n_alltoall"] == 2 * 3 * 2  # 2 per layer per schedule
+        # coalesced exchange (the default): 2 alltoalls per layer, B-independent
+        assert out["ranks"][0]["n_alltoall"] == 2 * 2
+
+    def test_spmd_per_schedule_exchange_matches_coalesced(self, rng):
+        terms = labs.get_terms(6)
+        gb = rng.uniform(0, 1, (3, 2))
+        bb = rng.uniform(0, 1, (3, 2))
+        coalesced = run_distributed_qaoa_batch(6, terms, gb, bb, n_ranks=2)
+        per_row = run_distributed_qaoa_batch(6, terms, gb, bb, n_ranks=2,
+                                             coalesce=False)
+        # the historical per-schedule path: 2 alltoalls per layer per schedule
+        assert per_row["ranks"][0]["n_alltoall"] == 2 * 3 * 2
+        np.testing.assert_array_equal(coalesced["statevectors"],
+                                      per_row["statevectors"])
+        np.testing.assert_array_equal(coalesced["expectations"],
+                                      per_row["expectations"])
 
 
 class TestEngineStatsAndModes:
