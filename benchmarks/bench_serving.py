@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""Serving-layer throughput: coalesced micro-batching vs per-request serving.
+
+The serving layer (:mod:`repro.serve`) exists to convert *concurrency into
+batch size*: concurrent expectation requests for the same problem ride one
+fused ``get_expectation_batch`` call, and exact-duplicate schedules are
+evaluated once.  This benchmark measures that conversion on the LABS
+workload, at increasing concurrency with a realistic duplicate rate (half
+the requests repeat an already-in-flight schedule — optimizer restarts and
+shared starting points do exactly this).
+
+The baseline is the *sequential per-request* path: the same warm simulator,
+one ``simulate_qaoa`` + ``get_expectation`` round trip per request — the
+single-request API a service without a batching layer would call per
+submission (it is the exact path :meth:`repro.qaoa.QAOAObjective.evaluate`
+takes), with duplicates paying full price.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py              # full size
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke      # CI-sized
+    PYTHONPATH=src python benchmarks/bench_serving.py --check      # assert bars
+    PYTHONPATH=src python benchmarks/bench_serving.py --json BENCH_serving.json
+
+Full size is LABS n=16, p=4 at concurrency 1/8/32.  ``--check`` always
+asserts the served values match the direct engine batch and that coalescing
+engaged (coalesced hits > 0) at concurrency >= 8; at full size it
+additionally requires the served throughput to beat the sequential baseline
+at concurrency 8 and to beat it by >= 3x at concurrency 32 on the
+``python`` backend (the serving-layer acceptance bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:
+    import repro
+except ImportError:  # running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+import repro.serve
+from repro.problems import labs
+
+#: Required coalesced-vs-sequential advantage at the top concurrency (--check).
+REQUIRED_SERVING_SPEEDUP = 3.0
+
+#: Concurrency level from which --check requires coalescing to have engaged.
+COALESCING_CHECK_CONCURRENCY = 8
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _request_schedules(concurrency: int, p: int,
+                       rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, int]:
+    """Per-request (γ, β) schedules with a 2:1 duplicate rate.
+
+    ``unique = max(1, concurrency // 2)`` distinct schedules are dealt
+    round-robin over the requests, so at concurrency >= 2 every flush
+    contains exact duplicates for the coalescer to collapse.
+    """
+    unique = max(1, concurrency // 2)
+    gammas = rng.uniform(0.0, 1.0, (unique, p))
+    betas = rng.uniform(0.0, 1.0, (unique, p))
+    idx = np.arange(concurrency) % unique
+    return gammas[idx], betas[idx], unique
+
+
+def bench_level(backend: str, terms, n: int, p: int, concurrency: int,
+                rounds: int, window_ms: float,
+                rng: np.random.Generator) -> dict:
+    """Serve ``concurrency`` concurrent requests vs the sequential baseline."""
+    gammas, betas, unique = _request_schedules(concurrency, p, rng)
+
+    # sequential per-request baseline: same warm simulator, one
+    # simulate+reduce round trip per request — the single-request API path
+    # (QAOAObjective.evaluate) a service without batching would call per
+    # submission; duplicates pay full price
+    sim = repro.simulator(n, terms=terms, backend=backend)
+    expected = sim.get_expectation_batch(gammas, betas)  # warm-up + reference
+    baseline_values = [
+        sim.get_expectation(sim.simulate_qaoa(g, b), preserve_state=False)
+        for g, b in zip(gammas, betas)
+    ]  # warm-up + cross-path consistency
+    np.testing.assert_allclose(baseline_values, expected, rtol=1e-10)
+
+    def baseline() -> None:
+        for g, b in zip(gammas, betas):
+            sim.get_expectation(sim.simulate_qaoa(g, b), preserve_state=False)
+
+    baseline_s = _best_of(baseline, rounds)
+
+    with repro.serve(backend=backend, window_ms=window_ms,
+                     max_batch=concurrency) as svc:
+        def served() -> list[float]:
+            futures = [svc.submit_future(n, terms, g, b)
+                       for g, b in zip(gammas, betas)]
+            return [f.result(300) for f in futures]
+
+        values = served()  # warm-up (simulator construction, plan compile)
+        np.testing.assert_allclose(values, expected, rtol=1e-10)
+        served_s = _best_of(served, rounds)
+        stats = svc.stats.as_dict()
+
+    return {
+        "concurrency": concurrency,
+        "unique_schedules": unique,
+        "baseline_s": baseline_s,
+        "served_s": served_s,
+        "speedup": baseline_s / served_s,
+        "served_requests_per_s": concurrency / served_s,
+        "baseline_requests_per_s": concurrency / baseline_s,
+        "service_stats": stats,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized problem and concurrency levels")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless values match, coalescing "
+                             f"engaged, and (full size) the concurrency-32 "
+                             f"speedup is >= {REQUIRED_SERVING_SPEEDUP}x")
+    parser.add_argument("--backend", default="python",
+                        help="registry backend to serve (default: python)")
+    parser.add_argument("--window-ms", type=float, default=20.0,
+                        help="service micro-batching window (default: 20)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write a machine-readable BENCH_serving.json record")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n, p, rounds = 10, 2, 2
+        levels = (1, 8)
+    else:
+        n, p, rounds = 16, 4, 3
+        levels = (1, 8, 32)
+    terms = labs.get_terms(n)
+    rng = np.random.default_rng(args.seed)
+
+    print(f"Serving benchmark: LABS n={n}, p={p}, backend={args.backend} "
+          f"({'smoke' if args.smoke else 'full'}; 2:1 duplicate rate)")
+    print(f"{'conc':>5}  {'unique':>6}  {'baseline [s]':>13}  {'served [s]':>11}  "
+          f"{'speedup':>8}  {'req/s':>8}  {'coalesced':>9}")
+    results = []
+    for concurrency in levels:
+        rec = bench_level(args.backend, terms, n, p, concurrency, rounds,
+                          args.window_ms, rng)
+        results.append(rec)
+        stats = rec["service_stats"]
+        print(f"{rec['concurrency']:>5}  {rec['unique_schedules']:>6}  "
+              f"{rec['baseline_s']:>13.3f}  {rec['served_s']:>11.3f}  "
+              f"{rec['speedup']:>7.2f}x  {rec['served_requests_per_s']:>8.1f}  "
+              f"{stats['coalesced_hits']:>9}")
+
+    if args.json:
+        payload = {
+            "workload": {"problem": "labs", "n": n, "p": p, "rounds": rounds,
+                         "backend": args.backend,
+                         "window_ms": args.window_ms,
+                         "duplicate_rate": "2:1",
+                         "seed": args.seed, "smoke": bool(args.smoke)},
+            "required_speedup": REQUIRED_SERVING_SPEEDUP,
+            "levels": results,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.check:
+        # correctness is asserted inside bench_level (allclose vs the direct
+        # engine batch); here: coalescing must actually have engaged
+        no_coalescing = [r for r in results
+                         if r["concurrency"] >= COALESCING_CHECK_CONCURRENCY
+                         and r["service_stats"]["coalesced_hits"] == 0]
+        if no_coalescing:
+            print(f"FAIL: no coalesced hits at concurrency "
+                  f"{[r['concurrency'] for r in no_coalescing]}",
+                  file=sys.stderr)
+            return 1
+        print("OK: duplicate requests coalesced at every concurrency level "
+              f">= {COALESCING_CHECK_CONCURRENCY}")
+        if not args.smoke:
+            by_level = {r["concurrency"]: r for r in results}
+            if by_level[8]["speedup"] <= 1.0:
+                print(f"FAIL: served throughput does not beat the sequential "
+                      f"baseline at concurrency 8 "
+                      f"({by_level[8]['speedup']:.2f}x)", file=sys.stderr)
+                return 1
+            top = by_level[max(by_level)]
+            if top["speedup"] < REQUIRED_SERVING_SPEEDUP:
+                print(f"FAIL: concurrency-{top['concurrency']} serving speedup "
+                      f"{top['speedup']:.2f}x < required "
+                      f"{REQUIRED_SERVING_SPEEDUP}x", file=sys.stderr)
+                return 1
+            print(f"OK: coalesced micro-batched serving beats the sequential "
+                  f"baseline ({by_level[8]['speedup']:.2f}x at concurrency 8, "
+                  f"{top['speedup']:.2f}x >= {REQUIRED_SERVING_SPEEDUP}x at "
+                  f"concurrency {top['concurrency']})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,7 +12,12 @@ The package mirrors the structure of the paper's QOKit framework:
 * :mod:`repro.tensornet` — a tensor-network contraction simulator (baseline);
 * :mod:`repro.parallel` — the virtual-cluster substrate (communicators,
   collectives, topology and performance model);
-* :mod:`repro.classical` — classical heuristic solvers used for reference.
+* :mod:`repro.classical` — classical heuristic solvers used for reference;
+* :mod:`repro.serve` — an async serving layer over the execution engine:
+  concurrent expectation requests are routed by problem fingerprint,
+  micro-batched into fused engine calls and exact duplicates coalesced
+  (``svc = repro.serve(backend="python")``; see the README's Serving
+  section).
 
 Quickstart — every backend/mixer combination is constructed through the
 single :func:`repro.simulator` facade::
@@ -43,15 +48,16 @@ legacy ``choose_simulator*`` helpers from the paper's Listings 1–3 still
 work but emit ``DeprecationWarning``.
 """
 
-from . import fur, problems
+from . import fur, problems, serve
 from .fur.registry import simulator
 from .problems import labs, maxcut, portfolio, sk
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "fur",
     "problems",
+    "serve",
     "labs",
     "maxcut",
     "portfolio",

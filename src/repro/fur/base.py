@@ -32,6 +32,7 @@ surface of that engine.
 from __future__ import annotations
 
 import abc
+import threading
 from collections.abc import Iterable, Sequence
 from typing import Any
 
@@ -246,6 +247,11 @@ class QAOAFastSimulatorBase(abc.ABC):
         self._phase_costs_cache: np.ndarray | None = None
         self._phase_table_cache: DiagonalPhaseTable | None = None
         self._phase_table_built = False
+        #: guards the lazily-built derived caches (resolved diagonal, phase
+        #: costs, phase table, engine) against concurrent first use — the
+        #: serving layer evaluates on a thread pool.  Reentrant because the
+        #: lazy initializers nest (phase table -> resolved diagonal).
+        self._derived_lock = threading.RLock()
         #: lazily-constructed execution engine (plan cache lives on it)
         self._execution_engine = None
         self._terms: list[Term] | None = None
@@ -354,7 +360,9 @@ class QAOAFastSimulatorBase(abc.ABC):
         a depth-1000 simulation pays for exactly one decompression.
         """
         if self._costs_cache is None:
-            self._costs_cache = self.get_cost_diagonal()
+            with self._derived_lock:
+                if self._costs_cache is None:
+                    self._costs_cache = self.get_cost_diagonal()
         return self._costs_cache
 
     def _phase_costs(self) -> np.ndarray:
@@ -368,12 +376,14 @@ class QAOAFastSimulatorBase(abc.ABC):
         this view; they accumulate in float64 via :meth:`_default_costs`.
         """
         if self._phase_costs_cache is None:
-            costs = self._default_costs()
-            if costs.dtype == self._precision.real_dtype:
-                self._phase_costs_cache = costs
-            else:
-                self._phase_costs_cache = np.ascontiguousarray(
-                    costs, dtype=self._precision.real_dtype)
+            with self._derived_lock:
+                if self._phase_costs_cache is None:
+                    costs = self._default_costs()
+                    if costs.dtype == self._precision.real_dtype:
+                        self._phase_costs_cache = costs
+                    else:
+                        self._phase_costs_cache = np.ascontiguousarray(
+                            costs, dtype=self._precision.real_dtype)
         return self._phase_costs_cache
 
     def _diagonal_phase_table(self) -> DiagonalPhaseTable | None:
@@ -383,8 +393,10 @@ class QAOAFastSimulatorBase(abc.ABC):
         diagonal has too many distinct values for the gather to pay off.
         """
         if not self._phase_table_built:
-            self._phase_table_cache = build_phase_table(self._default_costs())
-            self._phase_table_built = True
+            with self._derived_lock:
+                if not self._phase_table_built:
+                    self._phase_table_cache = build_phase_table(self._default_costs())
+                    self._phase_table_built = True
         return self._phase_table_cache
 
     # -- the execution engine ------------------------------------------------
@@ -398,7 +410,9 @@ class QAOAFastSimulatorBase(abc.ABC):
         if self._execution_engine is None:
             from .engine import ExecutionEngine  # deferred: engine imports base
 
-            self._execution_engine = ExecutionEngine(self)
+            with self._derived_lock:
+                if self._execution_engine is None:
+                    self._execution_engine = ExecutionEngine(self)
         return self._execution_engine
 
     # -- simulation ----------------------------------------------------------

@@ -16,7 +16,11 @@ simulator constructed for the same problem — all consumers of the diagonal
 (phase kernels, expectation reductions) only ever read it.
 
 The cache is a small thread-safe LRU; statistics (hits / misses / evictions)
-are exposed for tests and for capacity tuning.
+are exposed for tests and for capacity tuning.  Lookups are *single-flight*:
+when several threads race for the same uncached problem (the serving layer's
+micro-batch flushes run on a thread pool), exactly one thread performs the
+O(|T| · 2^n) precomputation and the others wait for its result instead of
+duplicating the work — ``stats.misses`` counts actual precomputations.
 """
 
 from __future__ import annotations
@@ -96,6 +100,9 @@ class DiagonalCache:
         self._max_bytes = int(max_bytes)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        #: in-flight precomputations, keyed like the entries; threads that
+        #: lose the single-flight race wait on the owner's event
+        self._pending: dict[tuple, threading.Event] = {}
         self._nbytes = 0
         self._stats = CacheStats()
         self._enabled = True
@@ -168,37 +175,59 @@ class DiagonalCache:
         returned; on a hit the shared array is returned directly.  The terms
         must already be normalized/validated (the simulator base class
         guarantees this), so equal problems always produce equal keys.
+
+        Misses are *single-flight*: concurrent callers for the same uncached
+        problem wait for the one thread that owns the precomputation instead
+        of each paying the O(|T| · 2^n) cost (and then racing to store).
+        Unrelated problems still precompute concurrently — the lock is only
+        held for bookkeeping, never during the computation itself.
         """
         if not self._enabled or self._maxsize == 0:
-            self._stats.misses += 1
+            with self._lock:
+                self._stats.misses += 1
             return precompute_cost_diagonal(terms, n_qubits)
         key = _cache_key(terms, n_qubits)
-        with self._lock:
-            cached = self._entries.get(key)
-            if cached is not None:
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self._stats.hits += 1
+                    return cached
+                pending = self._pending.get(key)
+                if pending is None:
+                    pending = threading.Event()
+                    self._pending[key] = pending
+                    break  # this thread owns the precomputation
+            # Another thread is precomputing this exact problem: wait for it
+            # to finish, then re-check (the entry will be a hit, unless it was
+            # too large to store — in which case this thread takes ownership).
+            pending.wait()
+        try:
+            # Compute outside the lock: precomputation is the expensive part
+            # and must not serialize unrelated problems behind one another.
+            diag = precompute_cost_diagonal(terms, n_qubits)
+            with self._lock:
+                self._stats.misses += 1
+                if diag.nbytes > self._max_bytes:
+                    # Too large to ever fit the budget: hand back a private
+                    # (writable) array rather than evicting the whole cache
+                    # for one entry.
+                    return diag
+                diag.setflags(write=False)
+                if key not in self._entries:
+                    self._entries[key] = diag
+                    self._nbytes += int(diag.nbytes)
                 self._entries.move_to_end(key)
-                self._stats.hits += 1
-                return cached
-        # Compute outside the lock: precomputation is the expensive part and
-        # must not serialize unrelated problems behind one another.
-        diag = precompute_cost_diagonal(terms, n_qubits)
-        if diag.nbytes > self._max_bytes:
-            # Too large to ever fit the budget: hand back a private (writable)
-            # array rather than evicting the whole cache for one entry.
-            self._stats.misses += 1
+                while len(self._entries) > self._maxsize or self._nbytes > self._max_bytes:
+                    _, evicted = self._entries.popitem(last=False)
+                    self._nbytes -= int(evicted.nbytes)
+                    self._stats.evictions += 1
             return diag
-        diag.setflags(write=False)
-        with self._lock:
-            self._stats.misses += 1
-            if key not in self._entries:  # a racing thread may have stored it
-                self._entries[key] = diag
-                self._nbytes += int(diag.nbytes)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._maxsize or self._nbytes > self._max_bytes:
-                _, evicted = self._entries.popitem(last=False)
-                self._nbytes -= int(evicted.nbytes)
-                self._stats.evictions += 1
-        return diag
+        finally:
+            with self._lock:
+                self._pending.pop(key, None)
+            pending.set()
 
 
 #: The process-wide cache instance used by every CPU simulator constructor.

@@ -40,6 +40,7 @@ optimized plans can always be pinned against the unoptimized op stream.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
@@ -275,11 +276,19 @@ class ExecutionEngine:
     lives alongside the simulator's resolved-diagonal and phase-table caches
     and shares their lifetime.  All batched evaluation of every backend
     routes through :meth:`simulate_batch` / :meth:`expectation_batch`.
+
+    The plan cache and the statistics counters are guarded by a per-engine
+    lock: the serving layer (:mod:`repro.serve`) drives engines from a thread
+    pool, and an unguarded racing first compile would double-compile the plan
+    and tear the stats bookkeeping.  Plan compilation is single-flight (the
+    lock is held across the compile); block execution itself never holds it.
     """
 
     def __init__(self, simulator: QAOAFastSimulatorBase) -> None:
         self._sim = simulator
         self._plans: dict[tuple, ExecutionPlan] = {}
+        #: guards the plan cache and stats (reentrant: compile records stats)
+        self._lock = threading.RLock()
         self.stats = EngineStats()
 
     # -- plan compilation ----------------------------------------------------
@@ -290,11 +299,13 @@ class ExecutionEngine:
 
     def plan_cache_size(self) -> int:
         """Number of compiled plans currently cached."""
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def clear_plans(self) -> None:
         """Drop every cached plan (the next evaluation recompiles)."""
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
 
     def plan(self, p: int, *, n_trotters: int = 1,
              memory_budget: float | None = None,
@@ -319,44 +330,45 @@ class ExecutionEngine:
                                     else optimize)
         key = _plan_key(p, n_trotters, memory_budget, reduce,
                         self._sim.precision, optimize)
-        cached = self._plans.get(key)
-        if cached is not None:
-            self.stats.plan_cache_hits += 1
-            return cached
-        start = time.perf_counter()
-        ops: list[PlanOp] = []
-        for layer in range(p):
-            ops.append(PhaseOp(layer=layer))
-            ops.append(MixerOp(layer=layer, n_trotters=int(n_trotters)))
-        if reduce:
-            ops.append(ExpectationOp())
-        ops = tuple(ops)
-        reports: tuple[RewriteReport, ...] = ()
-        if optimize != "none" and self._sim.supports_fused_engine:
-            ops, reports = run_passes(ops, self._sim, stage="compile")
-            self.stats.record_rewrites(reports)
-        # Resolving the phase tables here (rather than per sub-batch) makes
-        # the first compile pay the one-time unique-value factorization; the
-        # simulator-level cache makes subsequent compiles near-free.
-        tables = (self._sim._engine_phase_tables()
-                  if self._sim.supports_fused_engine else None)
-        plan = ExecutionPlan(
-            p=int(p),
-            mixer=self._sim.mixer_name,
-            precision=self._sim.precision,
-            n_trotters=int(n_trotters),
-            memory_budget=memory_budget,
-            reduce=bool(reduce),
-            optimize=optimize,
-            ops=ops,
-            rewrites=reports,
-            phase_tables=tables,
-            compile_time_s=time.perf_counter() - start,
-        )
-        self._plans[key] = plan
-        self.stats.plan_compiles += 1
-        self.stats.compile_time_s += plan.compile_time_s
-        return plan
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self.stats.plan_cache_hits += 1
+                return cached
+            start = time.perf_counter()
+            ops: list[PlanOp] = []
+            for layer in range(p):
+                ops.append(PhaseOp(layer=layer))
+                ops.append(MixerOp(layer=layer, n_trotters=int(n_trotters)))
+            if reduce:
+                ops.append(ExpectationOp())
+            ops = tuple(ops)
+            reports: tuple[RewriteReport, ...] = ()
+            if optimize != "none" and self._sim.supports_fused_engine:
+                ops, reports = run_passes(ops, self._sim, stage="compile")
+                self.stats.record_rewrites(reports)
+            # Resolving the phase tables here (rather than per sub-batch) makes
+            # the first compile pay the one-time unique-value factorization; the
+            # simulator-level cache makes subsequent compiles near-free.
+            tables = (self._sim._engine_phase_tables()
+                      if self._sim.supports_fused_engine else None)
+            plan = ExecutionPlan(
+                p=int(p),
+                mixer=self._sim.mixer_name,
+                precision=self._sim.precision,
+                n_trotters=int(n_trotters),
+                memory_budget=memory_budget,
+                reduce=bool(reduce),
+                optimize=optimize,
+                ops=ops,
+                rewrites=reports,
+                phase_tables=tables,
+                compile_time_s=time.perf_counter() - start,
+            )
+            self._plans[key] = plan
+            self.stats.plan_compiles += 1
+            self.stats.compile_time_s += plan.compile_time_s
+            return plan
 
     # -- mode resolution -----------------------------------------------------
     def _resolve_mode(self, mode: str) -> str:
@@ -397,9 +409,10 @@ class ExecutionEngine:
             return plan.ops
         ops, reports = run_passes(plan.ops, self._sim, gammas=g, betas=b,
                                   stage="execute")
-        self.stats.record_rewrites(reports)
-        self.stats.ops_eliminated += sum(r.ops_before - r.ops_after
-                                         for r in reports)
+        with self._lock:
+            self.stats.record_rewrites(reports)
+            self.stats.ops_eliminated += sum(r.ops_before - r.ops_after
+                                             for r in reports)
         return ops
 
     def _run_ops(self, plan: ExecutionPlan, ops: tuple[PlanOp, ...],
@@ -410,6 +423,7 @@ class ExecutionEngine:
         block = sim._stage_block(sv0, g_sub.shape[0])
         scratch = sim._mixer_scratch(block) if sim._mixer_needs_scratch else None
         values: np.ndarray | None = None
+        fused_ops = coalesced_ops = 0
         for op in ops:
             if isinstance(op, PhaseOp):
                 sim._apply_phase_block(block, g_sub[:, op.layer], plan)
@@ -417,21 +431,24 @@ class ExecutionEngine:
                 sim._apply_phase_mixer_block(block, g_sub[:, op.layer],
                                              b_sub[:, op.layer], op, scratch,
                                              plan)
-                self.stats.fused_ops_executed += 1
+                fused_ops += 1
                 if op.coalesce:
-                    self.stats.coalesced_exchange_ops += 1
+                    coalesced_ops += 1
             elif isinstance(op, MixerOp):
                 if op.coalesce:
                     sim._apply_mixer_block_coalesced(block, b_sub[:, op.layer],
                                                      op.n_trotters, scratch)
-                    self.stats.coalesced_exchange_ops += 1
+                    coalesced_ops += 1
                 else:
                     sim._apply_mixer_block(block, b_sub[:, op.layer],
                                            op.n_trotters, scratch)
             else:  # ExpectationOp
                 values = sim._block_expectations(block, staged_costs)
-        self.stats.blocks_executed += 1
-        self.stats.rows_executed += int(g_sub.shape[0])
+        with self._lock:
+            self.stats.fused_ops_executed += fused_ops
+            self.stats.coalesced_exchange_ops += coalesced_ops
+            self.stats.blocks_executed += 1
+            self.stats.rows_executed += int(g_sub.shape[0])
         return block, values
 
     def _sub_batches(self, batch: int, memory_budget: float | None):
@@ -456,7 +473,8 @@ class ExecutionEngine:
         """Evolve a batch of schedules; one backend result object per schedule."""
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         if self._resolve_mode(mode) == "looped":
-            self.stats.looped_evaluations += g.shape[0]
+            with self._lock:
+                self.stats.looped_evaluations += g.shape[0]
             return [self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
                     for gi, bi in zip(g, b)]
         n_trotters = self._fused_kwargs(kwargs)
@@ -486,7 +504,8 @@ class ExecutionEngine:
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         resolved = self._sim._resolve_costs(costs)
         if self._resolve_mode(mode) == "looped":
-            self.stats.looped_evaluations += g.shape[0]
+            with self._lock:
+                self.stats.looped_evaluations += g.shape[0]
             out = np.empty(g.shape[0], dtype=np.float64)
             for i, (gi, bi) in enumerate(zip(g, b)):
                 result = self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)

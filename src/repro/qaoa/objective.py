@@ -22,7 +22,8 @@ from ..fur.base import QAOAFastSimulatorBase
 from ..fur.registry import simulator as _construct_simulator
 from .parameters import split_parameters
 
-__all__ = ["QAOAObjective", "get_qaoa_objective", "make_simulator"]
+__all__ = ["EvaluationBookkeepingMixin", "QAOAObjective", "get_qaoa_objective",
+           "make_simulator"]
 
 
 def make_simulator(n_qubits: int,
@@ -42,8 +43,34 @@ def make_simulator(n_qubits: int,
                                 backend=backend, mixer=mixer, **simulator_kwargs)
 
 
+class EvaluationBookkeepingMixin:
+    """Shared evaluation bookkeeping: count, history and best-seen tracking.
+
+    Mixed into :class:`QAOAObjective` and the serving layer's
+    :class:`repro.serve.ServedQAOAObjective` so every objective flavour keeps
+    identical statistics.  The host class declares the ``n_evaluations``,
+    ``best_value``, ``best_parameters`` and ``history`` fields (dataclass
+    fields cannot live on a shared non-dataclass base).
+    """
+
+    def _record_evaluation(self, theta: np.ndarray, value: float) -> None:
+        """Account one evaluation of the flat parameter vector ``theta``."""
+        self.n_evaluations += 1
+        self.history.append(float(value))
+        if value < self.best_value:
+            self.best_value = float(value)
+            self.best_parameters = np.array(theta, dtype=np.float64, copy=True)
+
+    def reset_statistics(self) -> None:
+        """Clear the evaluation counters and history."""
+        self.n_evaluations = 0
+        self.best_value = np.inf
+        self.best_parameters = None
+        self.history.clear()
+
+
 @dataclass
-class QAOAObjective:
+class QAOAObjective(EvaluationBookkeepingMixin):
     """Callable QAOA objective with evaluation bookkeeping.
 
     Calling the object with a flat parameter vector ``theta = (γ…, β…)``
@@ -84,11 +111,7 @@ class QAOAObjective:
             value = -self.simulator.get_overlap(result)
         theta = np.concatenate([np.asarray(gammas, dtype=np.float64),
                                 np.asarray(betas, dtype=np.float64)])
-        self.n_evaluations += 1
-        self.history.append(float(value))
-        if value < self.best_value:
-            self.best_value = float(value)
-            self.best_parameters = theta
+        self._record_evaluation(theta, float(value))
         return float(value)
 
     def evaluate_batch(self, thetas: np.ndarray) -> np.ndarray:
@@ -134,11 +157,7 @@ class QAOAObjective:
                 for g, b in zip(gammas_batch, betas_batch)
             ])
         for theta, value in zip(arr, values):
-            self.n_evaluations += 1
-            self.history.append(float(value))
-            if value < self.best_value:
-                self.best_value = float(value)
-                self.best_parameters = theta.copy()
+            self._record_evaluation(theta, float(value))
         return values
 
     def __call__(self, theta: np.ndarray) -> float:
@@ -148,14 +167,6 @@ class QAOAObjective:
                 f"parameter vector encodes p={gammas.shape[0]}, objective expects p={self.p}"
             )
         return self.evaluate(gammas, betas)
-
-    # -- introspection ------------------------------------------------------------
-    def reset_statistics(self) -> None:
-        """Clear the evaluation counters and history."""
-        self.n_evaluations = 0
-        self.best_value = np.inf
-        self.best_parameters = None
-        self.history.clear()
 
 
 def get_qaoa_objective(n_qubits: int, p: int,

@@ -1,0 +1,67 @@
+"""``python -m repro.serve`` — inspect the serving layer from the shell.
+
+``--describe`` prints the operational surface an operator cares about before
+pointing traffic at a service: the backend registry (which simulator
+families are importable on this host, their mixers/precisions/devices), the
+service's default knob settings, and the metrics schema a running service
+exports (every counter and latency summary in
+:meth:`~repro.serve.ServiceStats.as_dict`).  ``--json`` emits the same
+snapshot machine-readably.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .service import QAOAService
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Inspect the repro QAOA serving layer.",
+    )
+    parser.add_argument(
+        "--describe", action="store_true",
+        help="print the backend registry, service defaults and stats schema",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the --describe snapshot as JSON instead of text",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if not (args.describe or args.json):
+        _build_parser().print_help()
+        return 2
+    # A fresh, never-started service: construction touches no event loop and
+    # spawns no threads, so describing it is free — and its stats snapshot
+    # doubles as the schema every running service exports.
+    service = QAOAService()
+    snapshot = service.describe()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print("repro.serve — async QAOA serving layer")
+    print()
+    print("Backend registry:")
+    print(snapshot["backends"])
+    print()
+    print("Service defaults (override via repro.serve(**kwargs)):")
+    for knob, value in snapshot["config"].items():
+        print(f"  {knob:<22} {value!r}")
+    print()
+    print("Stats exported by a running service (QAOAService.stats.as_dict()):")
+    print(json.dumps(snapshot["stats"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Admission control and the serving layer's typed error vocabulary.
+
+A serving tier that accepts everything falls over under exactly the traffic
+it was built for, so admission is decided *before* a request ever reaches a
+queue:
+
+* **servability** — a request whose state vector cannot exist under the
+  process-wide byte guard (:data:`repro.fur.base.MAX_STATE_BYTES`, the same
+  guard the simulator constructors enforce) is rejected with
+  :class:`AdmissionError` without constructing anything;
+* **queue bound** — each service caps the number of in-flight requests
+  (``max_pending``); past the cap the configured overload policy applies:
+  ``"shed"`` raises :class:`ServiceOverloadedError` immediately (load
+  shedding — the caller can retry elsewhere), ``"wait"`` applies
+  backpressure by suspending the submitter until a slot frees;
+* **batch sizing** — the per-key micro-batch bound is clamped so one flush
+  never exceeds what the execution engine would run as a single sub-batch
+  under the memory budget (:func:`repro.fur.base.batch_block_rows`); larger
+  flushes would only be split again downstream, adding latency without
+  throughput.
+"""
+
+from __future__ import annotations
+
+from ..fur.base import MAX_STATE_BYTES, batch_block_rows
+from ..fur.precision import PrecisionSpec, resolve_precision
+
+__all__ = [
+    "ServeError",
+    "AdmissionError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "AdmissionController",
+    "OVERLOAD_POLICIES",
+]
+
+#: Accepted values of the ``overload`` policy knob.
+OVERLOAD_POLICIES = ("shed", "wait")
+
+
+class ServeError(RuntimeError):
+    """Base class of every serving-layer error."""
+
+
+class AdmissionError(ServeError):
+    """The request can never be served (e.g. the state exceeds the byte guard).
+
+    Raised at submission time, before any queueing or simulator construction;
+    retrying the identical request is pointless.
+    """
+
+
+class ServiceOverloadedError(ServeError):
+    """The request was shed because the service is at its queue bound.
+
+    Only raised under the ``overload="shed"`` policy; the request did
+    not consume a queue slot and may be retried later (or elsewhere).
+    """
+
+
+class ServiceClosedError(ServeError):
+    """The service has been closed and accepts no further submissions."""
+
+
+class AdmissionController:
+    """Decides, synchronously, whether a submission may enter the queues.
+
+    Parameters
+    ----------
+    max_pending:
+        In-flight request bound across all routing keys.
+    overload:
+        ``"shed"`` (reject over-bound submissions with
+        :class:`ServiceOverloadedError`) or ``"wait"`` (backpressure).
+        The policy itself is applied by the service's async submit path;
+        the controller validates and carries it.
+    max_qubits:
+        Optional operator-imposed qubit ceiling, tighter than the byte guard.
+    memory_budget:
+        Fused-engine block budget (bytes) used to clamp micro-batch sizes;
+        ``None`` uses the engine default.
+    max_state_bytes:
+        State-vector byte guard; defaults to the process-wide
+        :data:`~repro.fur.base.MAX_STATE_BYTES`.
+    """
+
+    def __init__(self, *, max_pending: int = 1024, overload: str = "shed",
+                 max_qubits: int | None = None,
+                 memory_budget: float | None = None,
+                 max_state_bytes: int = MAX_STATE_BYTES) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {overload!r}; expected one of "
+                f"{OVERLOAD_POLICIES}"
+            )
+        if max_qubits is not None and max_qubits < 1:
+            raise ValueError("max_qubits must be positive")
+        self.max_pending = int(max_pending)
+        self.overload = overload
+        self.max_qubits = max_qubits
+        self.memory_budget = memory_budget
+        self.max_state_bytes = int(max_state_bytes)
+
+    def check(self, n_qubits: int, precision: str | PrecisionSpec) -> None:
+        """Raise :class:`AdmissionError` if the request can never be served."""
+        if n_qubits <= 0:
+            raise AdmissionError(f"n_qubits must be positive, got {n_qubits}")
+        if self.max_qubits is not None and n_qubits > self.max_qubits:
+            raise AdmissionError(
+                f"n_qubits={n_qubits} exceeds the service's max_qubits="
+                f"{self.max_qubits}"
+            )
+        spec = resolve_precision(precision)
+        state_bytes = (1 << n_qubits) * spec.complex_itemsize
+        if state_bytes > self.max_state_bytes:
+            raise AdmissionError(
+                f"n_qubits={n_qubits} would require {state_bytes / 2**30:.0f} "
+                f"GiB for the {spec.name}-precision state vector "
+                f"(guard: {self.max_state_bytes / 2**30:.0f} GiB); rejecting"
+            )
+
+    def effective_max_batch(self, n_qubits: int,
+                            precision: str | PrecisionSpec,
+                            max_batch: int) -> int:
+        """Clamp the micro-batch bound to one engine sub-batch for this key.
+
+        Uses the same :func:`~repro.fur.base.batch_block_rows` accounting as
+        the execution engine (conservatively assuming a ping-pong mixer
+        scratch), so a flush is never larger than what the engine would run
+        in one block under the memory budget.  Always at least 1.
+        """
+        spec = resolve_precision(precision)
+        return batch_block_rows(max_batch, 1 << n_qubits, self.memory_budget,
+                                blocks=2, itemsize=spec.complex_itemsize)

@@ -1,0 +1,81 @@
+"""Synchronous plumbing for the serving facade: a background event-loop thread.
+
+The service core is asyncio (that is what makes a micro-batching window
+cheap), but most callers — benchmarks, optimizers driving ``scipy``,
+notebooks — are plain synchronous code.  :class:`EventLoopThread` runs a
+private event loop on a daemon thread so :meth:`QAOAService.submit_sync`
+and :meth:`QAOAService.submit_future` can bridge into it with
+:func:`asyncio.run_coroutine_threadsafe`, giving synchronous callers the
+exact same coalescing/micro-batching path without ever touching asyncio
+themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from collections.abc import Coroutine
+from typing import Any
+
+__all__ = ["EventLoopThread"]
+
+
+class EventLoopThread:
+    """A daemon thread running a private asyncio event loop.
+
+    Lifecycle: :meth:`start` spawns the thread and blocks until the loop is
+    running; :meth:`run` schedules a coroutine onto it and returns a
+    :class:`concurrent.futures.Future`; :meth:`stop` stops the loop, joins
+    the thread and closes the loop.  The thread is a daemon, so a service
+    the user forgot to close never blocks interpreter exit.
+    """
+
+    def __init__(self, name: str = "repro-serve-loop") -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self._started = threading.Event()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The private event loop (running once :meth:`start` returned)."""
+        return self._loop
+
+    @property
+    def running(self) -> bool:
+        """Whether the loop thread is alive."""
+        return self._thread.is_alive()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.call_soon(self._started.set)
+        try:
+            self._loop.run_forever()
+        finally:
+            # Cancel anything still pending so the loop can close cleanly.
+            pending = asyncio.all_tasks(self._loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self._loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self._loop.close()
+
+    def start(self) -> EventLoopThread:
+        """Start the thread and wait until the loop is accepting work."""
+        self._thread.start()
+        self._started.wait()
+        return self
+
+    def run(self, coro: Coroutine[Any, Any, Any]) -> concurrent.futures.Future:
+        """Schedule ``coro`` onto the loop from any other thread."""
+        if not self._thread.is_alive():
+            coro.close()
+            raise RuntimeError("the event-loop thread is not running")
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def stop(self) -> None:
+        """Stop the loop and join the thread (idempotent)."""
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join()
