@@ -267,6 +267,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{rec['max_rel_err']:>12.2e}{extra}")
 
     distributed_results = []
+    baseline_results = []
     if args.engine_report:
         print(f"\nExecution engine: distributed fused batch "
               f"(n_ranks={args.n_ranks})")
@@ -278,10 +279,42 @@ def main(argv: list[str] | None = None) -> int:
             distributed_results.append(rec)
             print(f"{rec['backend']:>8}  {rec['looped_s']:>11.3f}  "
                   f"{rec['fused_s']:>11.3f}  {rec['speedup']:>7.2f}x")
+
+        # The gate-by-gate state-vector baseline rides the same engine now;
+        # reduced size because it walks every gate of every schedule row.
+        bn, bbatch, bp = (8, 4, 2) if args.smoke else (10, 8, 2)
+        baseline_terms = labs.get_terms(bn)
+        gates_rec = bench_backend("gates", baseline_terms, bn, bbatch, bp,
+                                  repeats, rng)
+        gates_rec["workload"] = {"problem": "labs", "n": bn, "batch": bbatch,
+                                 "p": bp}
+        baseline_results.append(gates_rec)
+        print(f"\nBaseline: gate-by-gate statevector "
+              f"(n={bn}, B={bbatch}, p={bp})")
+        print(f"{'backend':>8}  {'looped [s]':>11}  {'fused [s]':>11}  {'speedup':>8}")
+        print(f"{gates_rec['backend']:>8}  {gates_rec['looped_s']:>11.3f}  "
+              f"{gates_rec['fused_s']:>11.3f}  {gates_rec['speedup']:>7.2f}x")
+
+        # Per-pass rows: every optimizer pass that ran for each backend,
+        # including the zero-rewrite ones (so a pass silently not firing is
+        # visible in the record).
+        per_pass = [
+            {"backend": r["backend"], "pass": name, **entry}
+            for r in results + distributed_results + baseline_results
+            for name, entry in r["engine"]["rewrites"].items()
+        ]
+        print(f"\nPer-pass rewrite rows")
+        print(f"{'backend':>8}  {'pass':>24}  {'runs':>5}  {'rewrites':>8}  "
+              f"{'ops before/after':>16}")
+        for row in per_pass:
+            print(f"{row['backend']:>8}  {row['pass']:>24}  {row['runs']:>5}  "
+                  f"{row['rewrites']:>8}  "
+                  f"{row['ops_before']:>7} / {row['ops_after']:<6}")
+
         compile_s = sum(r["engine"]["compile_time_s"]
-                        for r in results + distributed_results)
+                        for r in results + distributed_results + baseline_results)
         blocks = sum(r["engine"]["blocks_executed"]
-                     for r in results + distributed_results)
+                     for r in results + distributed_results + baseline_results)
         print(f"engine totals: {compile_s * 1e3:.3f} ms plan-compile, "
               f"{blocks} blocks executed")
         payload = {
@@ -289,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
                          "repeats": repeats, "smoke": bool(args.smoke)},
             "backends": results,
             "distributed": distributed_results,
+            "baselines": baseline_results,
             # Optimized-vs-unoptimized report: what the plan-rewrite passes
             # buy on the fused path, per backend.
             "rewrite": [
@@ -299,8 +333,9 @@ def main(argv: list[str] | None = None) -> int:
                     "speedup": r["rewrite_speedup"],
                     "passes": r["engine"]["rewrites"],
                 }
-                for r in results + distributed_results
+                for r in results + distributed_results + baseline_results
             ],
+            "per_pass": per_pass,
         }
         Path(args.engine_report).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.engine_report}")
@@ -332,6 +367,21 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print(f"OK: single-precision expectations within {SINGLE_PRECISION_RTOL:g} "
               "relative of double")
+        # The full six-pass pipeline must actually run on the CPU families
+        # (presence of a row, not a rewrite count: zero-rewrite rows are
+        # legitimate, a missing row means the pass silently stopped running).
+        required_passes = ("fuse-phase-mixer", "fold-initial-phase",
+                           "fuse-mixer-expectation", "eliminate-noops",
+                           "reorder-commuting")
+        missing = [(r["backend"], name) for r in results
+                   if r["backend"] in ("python", "c")
+                   for name in required_passes
+                   if name not in r["engine"]["rewrites"]]
+        if missing:
+            print(f"FAIL: optimizer passes missing from the engine report: "
+                  f"{missing}", file=sys.stderr)
+            return 1
+        print("OK: all optimizer passes ran on the python and c backends")
     if args.check and distributed_results and not args.smoke:
         slow = [r for r in distributed_results if r["speedup"] <= 1.0]
         if slow:

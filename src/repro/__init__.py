@@ -42,17 +42,18 @@ single :func:`repro.simulator` facade::
     energies = sim.get_expectation_batch(gammas_batch, betas_batch)
 
 Backends self-register with capability metadata (supported mixers, device
-class, distributed-ness, ``auto`` priority) via
+class, distributed-ness, capability tier, ``auto`` priority) via
 :func:`repro.fur.register_backend`; see :mod:`repro.fur.registry`.  The
-legacy ``choose_simulator*`` helpers from the paper's Listings 1–3 still
-work but emit ``DeprecationWarning``.
+baselines are registered too: ``backend="gates"`` resolves the gate-based
+state-vector simulator and ``backend="tensornet"`` the (expectation-only)
+tensor-network contraction simulator.
 """
 
 from . import fur, problems, serve
 from .fur.registry import simulator
 from .problems import labs, maxcut, portfolio, sk
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "fur",

@@ -7,21 +7,21 @@ This package is the reproduction of the paper's core contribution (QOKit's
   API shared by all backends (including batched evaluation,
   ``simulate_qaoa_batch``);
 * the backend simulator families (``python``, ``c``, ``gpu``, ``gpumpi``,
-  ``cusvmpi``), one class per mixer type per backend;
+  ``cusvmpi``, ``gates``, ``tensornet``), one class per mixer type per
+  backend;
 * the backend registry (:mod:`repro.fur.registry`): every family registers
   itself with capability metadata (supported mixers, device class,
-  distributed-ness, ``auto`` priority), and :func:`repro.simulator` /
-  :func:`get_backend` / :func:`get_simulator_class` resolve names, aliases
-  and capabilities through it;
+  distributed-ness, capability tier, ``auto`` priority), and
+  :func:`repro.simulator` / :func:`get_backend` /
+  :func:`get_simulator_class` resolve names, aliases and capabilities
+  through it — including the tier (``full`` vs ``expectation-only``), so an
+  amplitude-less family like tensornet is constructible by name but never
+  chosen for a statevector-shaped request;
 * the process-wide diagonal cache (:mod:`repro.fur.cache`): repeated
-  construction for the same problem reuses the precomputed cost vector;
-* the legacy ``choose_simulator*`` helpers from the paper's Listings 1–3,
-  kept as thin deprecated wrappers over the registry.
+  construction for the same problem reuses the precomputed cost vector.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from .base import (
     DEFAULT_BATCH_MEMORY_BUDGET,
@@ -52,6 +52,14 @@ from .diagonal import (
     precompute_cost_diagonal_from_function,
     precompute_cost_diagonal_slice,
 )
+from .capabilities import (
+    CAPABILITY_OPERATIONS,
+    CAPABILITY_TIERS,
+    UnsupportedCapabilityError,
+    require_capability,
+    resolve_capability_tier,
+    tier_supports,
+)
 from .registry import (
     ENTRY_POINT_GROUP,
     BackendRegistry,
@@ -69,21 +77,33 @@ from .engine import (
     ExecutionPlan,
     EngineStats,
     ExpectationOp,
+    FusedMixerExpectationOp,
     FusedPhaseMixerOp,
+    InitialPhaseOp,
     KernelProvider,
+    MergedMixerOp,
+    MergedPhaseOp,
     MixerOp,
     PhaseOp,
 )
 from .rewrite import (
     DEFAULT_PASSES,
     OPTIMIZE_LEVELS,
+    STRUCTURAL_PASSES,
     CoalesceExchanges,
     EliminateNoOps,
+    FoldInitialPhase,
+    FuseMixerIntoExpectation,
     FusePhaseIntoMixer,
+    ReorderCommuting,
     RewritePass,
     RewriteReport,
     resolve_optimize,
     run_passes,
+)
+from .costmodel import (
+    PlanCostModel,
+    order_structural_passes,
 )
 from .cvect import (
     QAOAFURXSimulatorC,
@@ -139,8 +159,12 @@ __all__ = [
     "EngineStats",
     "KernelProvider",
     "PhaseOp",
+    "InitialPhaseOp",
+    "MergedPhaseOp",
     "MixerOp",
+    "MergedMixerOp",
     "FusedPhaseMixerOp",
+    "FusedMixerExpectationOp",
     "ExpectationOp",
     "OPTIMIZE_LEVELS",
     "resolve_optimize",
@@ -149,12 +173,21 @@ __all__ = [
     "FusePhaseIntoMixer",
     "CoalesceExchanges",
     "EliminateNoOps",
+    "FoldInitialPhase",
+    "FuseMixerIntoExpectation",
+    "ReorderCommuting",
     "DEFAULT_PASSES",
+    "STRUCTURAL_PASSES",
     "run_passes",
+    "PlanCostModel",
+    "order_structural_passes",
+    "CAPABILITY_TIERS",
+    "CAPABILITY_OPERATIONS",
+    "UnsupportedCapabilityError",
+    "require_capability",
+    "resolve_capability_tier",
+    "tier_supports",
     "SIMULATORS",
-    "choose_simulator",
-    "choose_simulator_xyring",
-    "choose_simulator_xycomplete",
 ]
 
 
@@ -167,7 +200,9 @@ __all__ = [
 @register_backend("c", aliases=("cpu",), mixers=("x", "xyring", "xycomplete"),
                   device="cpu", distributed=False,
                   precisions=("double", "single"),
-                  plan_rewrites=("fuse-phase-mixer",), priority=100,
+                  plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
+                                 "fuse-mixer-expectation", "reorder-commuting"),
+                  priority=100,
                   description="cache-blocked, allocation-free CPU kernels")
 def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -180,7 +215,9 @@ def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 @register_backend("python", aliases=("numpy",), mixers=("x", "xyring", "xycomplete"),
                   device="cpu", distributed=False,
                   precisions=("double", "single"),
-                  plan_rewrites=("fuse-phase-mixer",), priority=50,
+                  plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
+                                 "fuse-mixer-expectation", "reorder-commuting"),
+                  priority=50,
                   description="portable NumPy reference implementation")
 def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -230,6 +267,40 @@ def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {"x": QAOAFURXSimulatorCUSVMPI}
 
 
+@register_backend("gates", aliases=("statevector",),
+                  mixers=("x", "xyring", "xycomplete"),
+                  device="cpu", distributed=False,
+                  precisions=("double", "single"),
+                  plan_rewrites=("reorder-commuting",), priority=5,
+                  description="gate-by-gate state-vector baseline "
+                              "(Qiskit/cuStateVec analogue)")
+def _load_gates_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from ..gates.qaoa import (
+        QAOAGateBasedXSimulator,
+        QAOAGateBasedXYCompleteSimulator,
+        QAOAGateBasedXYRingSimulator,
+    )
+
+    return {
+        "x": QAOAGateBasedXSimulator,
+        "xyring": QAOAGateBasedXYRingSimulator,
+        "xycomplete": QAOAGateBasedXYCompleteSimulator,
+    }
+
+
+@register_backend("tensornet", aliases=("tn",), mixers=("x",),
+                  device="cpu", distributed=False,
+                  precisions=("double",),
+                  capabilities="expectation-only",
+                  plan_rewrites=("reorder-commuting",), priority=1,
+                  description="tensor-network contraction baseline "
+                              "(expectation-only; cuTensorNet/QTensor analogue)")
+def _load_tensornet_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from ..tensornet.backend import QAOATensorNetworkSimulator
+
+    return {"x": QAOATensorNetworkSimulator}
+
+
 # ---------------------------------------------------------------------------
 # Backwards-compatible views of the registry.
 # ---------------------------------------------------------------------------
@@ -248,44 +319,9 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def _deprecated_chooser(mixer: str, name: str,
-                        replacement: str) -> type[QAOAFastSimulatorBase]:
-    warnings.warn(
-        f"choose_simulator{'_' + mixer if mixer != 'x' else ''}() is deprecated; "
-        f"use {replacement} (or repro.simulator(..., backend={name!r}, "
-        f"mixer={mixer!r})) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return registry.simulator_class(name, mixer)
-
-
-def choose_simulator(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Deprecated: pick a transverse-field-mixer simulator class by name.
-
-    Mirrors ``qokit.fur.choose_simulator`` (Listing 1) and remains for
-    compatibility with the paper's listings; it now resolves through the
-    backend registry.  Use ``repro.fur.get_simulator_class(name)`` or the
-    ``repro.simulator(...)`` facade instead.
-    """
-    return _deprecated_chooser("x", name, "repro.fur.get_simulator_class(name)")
-
-
-def choose_simulator_xyring(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Deprecated: ring-XY-mixer analogue of :func:`choose_simulator` (Listing 2)."""
-    return _deprecated_chooser("xyring", name,
-                               "repro.fur.get_simulator_class(name, mixer='xyring')")
-
-
-def choose_simulator_xycomplete(name: str = "auto") -> type[QAOAFastSimulatorBase]:
-    """Deprecated: complete-graph-XY analogue of :func:`choose_simulator` (Listing 2)."""
-    return _deprecated_chooser("xycomplete", name,
-                               "repro.fur.get_simulator_class(name, mixer='xycomplete')")
-
-
 # Third-party backends advertised through the ``repro.fur.backends``
 # entry-point group register after the built-ins (a plugin clashing with a
 # built-in name is skipped with a warning, never the other way around).
 # This runs last so a plugin's spec-carrier module importing ``repro.fur``
-# sees the fully-initialized module, legacy chooser helpers included.
+# sees the fully-initialized module.
 load_entry_point_backends()

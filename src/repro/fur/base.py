@@ -219,6 +219,21 @@ class QAOAFastSimulatorBase(abc.ABC):
     #: whether :meth:`_apply_mixer_block_coalesced` is implemented — gates
     #: the CoalesceExchanges rewrite (the distributed Alltoall family)
     supports_coalesced_exchange: bool = False
+    #: capability tier (see :mod:`repro.fur.capabilities`): what request
+    #: kinds this simulator family can serve (``"full"``,
+    #: ``"expectation-only"`` or ``"amplitude-only"``)
+    capability_tier: str = "full"
+    #: whether :meth:`_stage_phase_block` is implemented — gates the
+    #: FoldInitialPhase rewrite (layer-0 phase written during |+> staging)
+    supports_staged_phase: bool = False
+    #: whether :meth:`_apply_mixer_expectation_block` is implemented — gates
+    #: the FuseMixerIntoExpectation rewrite (final mixer's copy-back skipped,
+    #: expectation reduced straight out of the ping-pong buffer)
+    supports_fused_mixer_expectation: bool = False
+    #: whether this class's mixer commutes with itself at different angles
+    #: (exact for X: exp(-iβ₁ΣX)·exp(-iβ₂ΣX) = exp(-i(β₁+β₂)ΣX)) — gates the
+    #: mixer-merging half of the ReorderCommuting rewrite
+    mixer_self_commutes: bool = False
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,
@@ -503,6 +518,18 @@ class QAOAFastSimulatorBase(abc.ABC):
             "kernel-provider protocol"
         )
 
+    def _stage_phase_block(self, gammas: np.ndarray, plan: Any) -> Any:
+        """Stage ``exp(-i γ_r c[x]) / sqrt(N)`` directly (layer-0 phase fold).
+
+        Only reached for plans rewritten by the FoldInitialPhase pass, which
+        is gated on :attr:`supports_staged_phase` — providers setting the
+        flag must implement this.
+        """
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} advertises phased staging "
+            "but does not implement _stage_phase_block"
+        )
+
     def _mixer_scratch(self, block: Any) -> Any:
         """Per-sub-batch ping-pong scratch (providers with scratch mixers override)."""
         return None
@@ -539,6 +566,25 @@ class QAOAFastSimulatorBase(abc.ABC):
         raise NotImplementedError(
             f"backend {self.backend_name!r} advertises the fused phase+mixer "
             "kernel but does not implement _apply_phase_mixer_block"
+        )
+
+    def _apply_mixer_expectation_block(self, block: Any,
+                                       gammas: np.ndarray | None,
+                                       betas: np.ndarray, op: Any,
+                                       scratch: Any, costs: Any,
+                                       plan: Any) -> np.ndarray:
+        """Final mixer sweep fused into the expectation reduction.
+
+        ``gammas`` is non-``None`` when the layer's phase rides along
+        (``op.with_phase``).  Only reached for plans rewritten by the
+        FuseMixerIntoExpectation pass, which is gated on
+        :attr:`supports_fused_mixer_expectation` — providers setting the
+        flag must implement this.
+        """
+        raise NotImplementedError(
+            f"backend {self.backend_name!r} advertises the fused "
+            "mixer+expectation kernel but does not implement "
+            "_apply_mixer_expectation_block"
         )
 
     def _block_expectations(self, block: Any, costs: Any) -> np.ndarray:

@@ -1,0 +1,90 @@
+"""Capability tiers for simulator backends.
+
+Not every simulator family can do everything the fastest ones can.  The FUR
+state-vector backends materialise the full state, so they can return
+statevectors, expectations and individual amplitudes; the tensor-network
+backend contracts amplitudes one at a time and can therefore serve
+expectation traffic but never hand back a ``2^n`` statevector.  Rather than
+letting such requests fail deep inside the engine with an ``AttributeError``,
+each backend declares a *capability tier* and the registry, the execution
+engine and the serving layer all validate requests against it up front.
+
+Tiers (ordered from most to least capable):
+
+* ``full`` — statevector evolution, expectations and amplitudes.
+* ``expectation-only`` — can reduce a schedule to ``<C>`` but cannot
+  return the evolved state (e.g. tensor-network contraction).
+* ``amplitude-only`` — can compute individual amplitudes only.
+
+Operations are the verbs requests are validated against: ``statevector``,
+``expectation`` and ``amplitude``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CAPABILITY_TIERS",
+    "CAPABILITY_OPERATIONS",
+    "TIER_OPERATIONS",
+    "UnsupportedCapabilityError",
+    "resolve_capability_tier",
+    "tier_supports",
+    "require_capability",
+]
+
+CAPABILITY_TIERS = ("full", "expectation-only", "amplitude-only")
+
+CAPABILITY_OPERATIONS = ("statevector", "expectation", "amplitude")
+
+# Which operations each tier can serve.
+TIER_OPERATIONS = {
+    "full": frozenset({"statevector", "expectation", "amplitude"}),
+    "expectation-only": frozenset({"expectation"}),
+    "amplitude-only": frozenset({"amplitude"}),
+}
+
+
+class UnsupportedCapabilityError(RuntimeError):
+    """A request needs an operation the chosen backend's tier cannot serve.
+
+    Raised at admission/resolution/construction time (registry, engine entry
+    points, serve routing) instead of surfacing as an ``AttributeError`` deep
+    inside the engine.
+    """
+
+
+def resolve_capability_tier(tier: str) -> str:
+    """Validate and canonicalise a capability-tier name."""
+    if tier not in TIER_OPERATIONS:
+        raise ValueError(
+            f"unknown capability tier {tier!r}; expected one of {CAPABILITY_TIERS}"
+        )
+    return tier
+
+
+def tier_supports(tier: str, operation: str) -> bool:
+    """Whether ``tier`` can serve ``operation``."""
+    if operation not in CAPABILITY_OPERATIONS:
+        raise ValueError(
+            f"unknown operation {operation!r}; expected one of {CAPABILITY_OPERATIONS}"
+        )
+    return operation in TIER_OPERATIONS[resolve_capability_tier(tier)]
+
+
+def require_capability(obj, operation: str, *, backend: str | None = None) -> None:
+    """Raise :class:`UnsupportedCapabilityError` unless ``obj`` supports ``operation``.
+
+    ``obj`` is either a tier name or anything with a ``capability_tier``
+    attribute (a simulator instance or class).  ``backend`` overrides the name
+    used in the error message.
+    """
+    tier = obj if isinstance(obj, str) else getattr(obj, "capability_tier", "full")
+    if tier_supports(tier, operation):
+        return
+    name = backend
+    if name is None:
+        name = getattr(obj, "backend_name", None) or type(obj).__name__
+    raise UnsupportedCapabilityError(
+        f"backend {name!r} is {tier!r} and cannot serve {operation!r} requests; "
+        f"pick a backend from available_backends(capability={operation!r})"
+    )

@@ -1,0 +1,125 @@
+"""Memory-traffic cost model for plan-rewrite pass ordering.
+
+The structural rewrite passes do not commute: ``FusePhaseIntoMixer`` eats
+the head ``PhaseOp`` that ``FoldInitialPhase`` wants, and whether that trade
+is worth it depends on what each resulting op stream *costs*.  Rather than
+hard-coding one pass order, the engine scores every permutation of the
+structural passes with this model and applies the cheapest.
+
+The model prices an op stream in bytes of memory traffic, reusing the
+calibrated bandwidth-bound op costs of
+:class:`repro.parallel.perfmodel.PerformanceModel` at a single rank — the
+byte counts here are exactly the numerators of ``phase_time`` /
+``mixer_compute_time`` (bandwidth divides out when comparing plans on one
+device, and integer byte counts make the comparison deterministic):
+
+* staging the ``|+>`` block writes the state once;
+* a phase sweep is one fused read-modify-write of the state plus the
+  diagonal read;
+* a mixer sweep streams the state once per qubit rotation (read + write),
+  per Trotter step;
+* a fused phase+mixer sweep saves the phase's read-modify-write — only the
+  diagonal read remains;
+* a phase folded into staging likewise adds only the diagonal read;
+* the expectation reduction reads the state and the diagonal;
+* fusing the final mixer into the expectation skips the mixer's copy-back
+  of the ping-pong buffer — one state write saved.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Any
+
+from ..parallel.perfmodel import PerformanceModel
+from .rewrite import (
+    ExpectationOp,
+    FusedMixerExpectationOp,
+    FusedPhaseMixerOp,
+    InitialPhaseOp,
+    MergedMixerOp,
+    MergedPhaseOp,
+    MixerOp,
+    PhaseOp,
+    PlanOp,
+    RewritePass,
+)
+
+__all__ = ["PlanCostModel", "order_structural_passes"]
+
+
+class PlanCostModel:
+    """Price op streams in bytes of memory traffic at a single rank."""
+
+    def __init__(self, n_qubits: int, model: PerformanceModel | None = None) -> None:
+        self.model = model if model is not None else PerformanceModel()
+        self.n_qubits = n_qubits
+        self.states = self.model.local_states(n_qubits, 1)
+
+    # -- per-op prices ---------------------------------------------------------
+    def stage_bytes(self) -> int:
+        """Writing the staged ``|+>`` block (common to every plan)."""
+        return self.states * self.model.state_bytes
+
+    def op_bytes(self, op: PlanOp) -> int:
+        sb = self.model.state_bytes
+        db = self.model.diag_bytes
+        states = self.states
+        phase = states * (2 * sb + db)  # numerator of phase_time
+        mixer = self.n_qubits * 2 * sb * states  # numerator of mixer_compute_time
+        expectation = states * (sb + db)
+        if isinstance(op, (PhaseOp, MergedPhaseOp)):
+            return phase
+        if isinstance(op, InitialPhaseOp):
+            # the staging write (already priced) doubles as the phase write;
+            # only the diagonal read is extra
+            return states * db
+        if isinstance(op, (MixerOp, MergedMixerOp)):
+            return mixer * op.n_trotters
+        if isinstance(op, FusedPhaseMixerOp):
+            # phase rides the first mixer pass: the read-modify-write
+            # disappears, the diagonal read remains
+            return mixer * op.n_trotters + states * db
+        if isinstance(op, FusedMixerExpectationOp):
+            extra_diag = states * db if op.with_phase else 0
+            # expectation reads the ping-pong buffer directly: the mixer's
+            # final copy-back (one state write) is saved
+            return mixer * op.n_trotters + extra_diag + expectation - states * sb
+        if isinstance(op, ExpectationOp):
+            return expectation
+        return phase  # unknown future op: assume one streaming sweep
+
+    def plan_bytes(self, ops: tuple[PlanOp, ...]) -> int:
+        """Total traffic of staging plus every op in the stream."""
+        return self.stage_bytes() + sum(self.op_bytes(op) for op in ops)
+
+    def plan_time(self, ops: tuple[PlanOp, ...]) -> float:
+        """Plan traffic over the modelled device bandwidth, in seconds."""
+        return self.plan_bytes(ops) / self.model.topology.gpu_memory_bandwidth
+
+
+def order_structural_passes(
+        passes: tuple[RewritePass, ...], ops: tuple[PlanOp, ...],
+        simulator: Any) -> tuple[RewritePass, ...]:
+    """Pick the cheapest application order for the structural passes.
+
+    Scores the op stream each permutation of ``passes`` produces with
+    :class:`PlanCostModel` and returns the winning permutation.  Ties keep
+    the earliest permutation — i.e. the declared order — which also covers
+    simulators the model cannot price (no ``n_qubits``).
+    """
+    n_qubits = getattr(simulator, "n_qubits", None)
+    if n_qubits is None or len(passes) < 2:
+        return passes
+    model = PlanCostModel(n_qubits)
+    best_order = passes
+    best_cost: int | None = None
+    for perm in permutations(passes):
+        rewritten = ops
+        for rewrite in perm:
+            rewritten, _ = rewrite.run(rewritten, simulator)
+        cost = model.plan_bytes(rewritten)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_order = perm
+    return tuple(best_order)

@@ -35,6 +35,7 @@ from .kernels import (
 )
 from ..python.furx import furx_all_batch, furx_phase_all_batch
 from ..python.furxy import complete_edges, ring_edges
+from ..python.qaoa_simulator import staged_phase_block
 
 __all__ = [
     "QAOAFURXSimulatorC",
@@ -48,6 +49,7 @@ class _QAOAFURCSimulatorBase(QAOAFastSimulatorBase):
 
     backend_name = "c"
     supports_fused_engine = True
+    supports_staged_phase = True
 
     def __init__(self, n_qubits: int, terms=None, costs=None, *,
                  block_size: int = DEFAULT_BLOCK_SIZE,
@@ -93,6 +95,12 @@ class _QAOAFURCSimulatorBase(QAOAFastSimulatorBase):
         sv = self._validate_sv0(sv0)
         return np.repeat(sv[None, :], rows, axis=0)
 
+    def _stage_phase_block(self, gammas: np.ndarray, plan: Any) -> np.ndarray:
+        """FoldInitialPhase staging: write ``exp(-i γ_r c)/√N`` in one pass."""
+        return staged_phase_block(gammas, self._phase_costs(), self._n_states,
+                                  self._precision.complex_dtype,
+                                  phase_table=plan.phase_tables)
+
     def _mixer_scratch(self, block: np.ndarray) -> np.ndarray:
         return np.empty_like(block)
 
@@ -133,6 +141,8 @@ class QAOAFURXSimulatorC(_QAOAFURCSimulatorBase):
     mixer_name = "x"
     _mixer_needs_scratch = True
     supports_fused_phase_mixer = True
+    supports_fused_mixer_expectation = True
+    mixer_self_commutes = True
 
     def _apply_mixer(self, sv: np.ndarray, beta: float, n_trotters: int) -> None:
         furx_all_blocked(sv, beta, self._n_qubits, self._workspace)
@@ -156,6 +166,24 @@ class QAOAFURXSimulatorC(_QAOAFURCSimulatorBase):
                              phase_table=plan.phase_tables,
                              costs=self._phase_costs(), scratch=scratch,
                              phase_buf=self._workspace.phase_scratch)
+
+    def _apply_mixer_expectation_block(self, block: np.ndarray,
+                                       gammas: np.ndarray | None,
+                                       betas: np.ndarray, op: Any,
+                                       scratch: np.ndarray | None,
+                                       costs: np.ndarray, plan: Any) -> np.ndarray:
+        """FusedMixerExpectationOp kernel: reduce out of the ping-pong buffer,
+        skipping the final mixer's copy-back (one state-block write saved)."""
+        if gammas is not None:
+            out = furx_phase_all_batch(block, gammas, betas, self._n_qubits,
+                                       phase_table=plan.phase_tables,
+                                       costs=self._phase_costs(), scratch=scratch,
+                                       phase_buf=self._workspace.phase_scratch,
+                                       copy_back=False)
+        else:
+            out = furx_all_batch(block, betas, self._n_qubits, scratch=scratch,
+                                 copy_back=False)
+        return expectation_batch_inplace(out, costs, self._workspace)
 
 
 class QAOAFURXYRingSimulatorC(_QAOAFURCSimulatorBase):

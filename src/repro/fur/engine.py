@@ -48,10 +48,15 @@ from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 import numpy as np
 
 from .base import validate_angle_batches
+from .capabilities import UnsupportedCapabilityError, require_capability
 from .diagonal import CompressedDiagonal
 from .rewrite import (
     ExpectationOp,
+    FusedMixerExpectationOp,
     FusedPhaseMixerOp,
+    InitialPhaseOp,
+    MergedMixerOp,
+    MergedPhaseOp,
     MixerOp,
     PhaseOp,
     PlanOp,
@@ -65,9 +70,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "PhaseOp",
+    "InitialPhaseOp",
+    "MergedPhaseOp",
     "MixerOp",
+    "MergedMixerOp",
     "FusedPhaseMixerOp",
+    "FusedMixerExpectationOp",
     "ExpectationOp",
+    "UnsupportedCapabilityError",
     "ExecutionPlan",
     "EngineStats",
     "KernelProvider",
@@ -153,6 +163,15 @@ class EngineStats:
     coalesced_exchange_ops: int = 0
     #: zero-angle ops dropped by the per-batch EliminateNoOps pass
     ops_eliminated: int = 0
+    #: blocks staged with the layer-0 phase folded into the |+> write
+    #: (the FoldInitialPhase rewrite's _stage_phase_block path)
+    staged_phase_ops: int = 0
+    #: FusedMixerExpectationOp executions (final mixer reduced without the
+    #: ping-pong copy-back — the FuseMixerIntoExpectation rewrite)
+    mixer_expectation_fused_ops: int = 0
+    #: MergedPhaseOp/MergedMixerOp executions (adjacent sweeps collapsed to
+    #: one with summed angles — the ReorderCommuting rewrite)
+    merged_ops_executed: int = 0
     #: per-pass rewrite totals: pass name -> {"runs", "rewrites",
     #: "ops_before", "ops_after"} accumulated over every pipeline run
     rewrites: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -180,6 +199,9 @@ class EngineStats:
             "fused_ops_executed": self.fused_ops_executed,
             "coalesced_exchange_ops": self.coalesced_exchange_ops,
             "ops_eliminated": self.ops_eliminated,
+            "staged_phase_ops": self.staged_phase_ops,
+            "mixer_expectation_fused_ops": self.mixer_expectation_fused_ops,
+            "merged_ops_executed": self.merged_ops_executed,
             "rewrites": {name: dict(entry)
                          for name, entry in self.rewrites.items()},
         }
@@ -420,13 +442,26 @@ class ExecutionEngine:
                  sv0: np.ndarray | None, staged_costs: Any) -> tuple[Any, np.ndarray | None]:
         """Drive one sub-batch block through an op sequence."""
         sim = self._sim
-        block = sim._stage_block(sv0, g_sub.shape[0])
+        staged_phase = 0
+        if ops and isinstance(ops[0], InitialPhaseOp) and sv0 is None:
+            # FoldInitialPhase: the head phase is written during staging.
+            # With a custom sv0 the shortcut does not apply — the op then
+            # degrades to a plain phase sweep in the loop below.
+            block = sim._stage_phase_block(g_sub[:, ops[0].layer], plan)
+            ops = ops[1:]
+            staged_phase = 1
+        else:
+            block = sim._stage_block(sv0, g_sub.shape[0])
         scratch = sim._mixer_scratch(block) if sim._mixer_needs_scratch else None
         values: np.ndarray | None = None
-        fused_ops = coalesced_ops = 0
+        fused_ops = coalesced_ops = mixer_expectation_ops = merged_ops = 0
         for op in ops:
-            if isinstance(op, PhaseOp):
+            if isinstance(op, (PhaseOp, InitialPhaseOp)):
                 sim._apply_phase_block(block, g_sub[:, op.layer], plan)
+            elif isinstance(op, MergedPhaseOp):
+                sim._apply_phase_block(
+                    block, g_sub[:, list(op.layers)].sum(axis=1), plan)
+                merged_ops += 1
             elif isinstance(op, FusedPhaseMixerOp):
                 sim._apply_phase_mixer_block(block, g_sub[:, op.layer],
                                              b_sub[:, op.layer], op, scratch,
@@ -434,19 +469,34 @@ class ExecutionEngine:
                 fused_ops += 1
                 if op.coalesce:
                     coalesced_ops += 1
-            elif isinstance(op, MixerOp):
+            elif isinstance(op, (MixerOp, MergedMixerOp)):
+                if isinstance(op, MergedMixerOp):
+                    betas = b_sub[:, list(op.layers)].sum(axis=1)
+                    merged_ops += 1
+                else:
+                    betas = b_sub[:, op.layer]
                 if op.coalesce:
-                    sim._apply_mixer_block_coalesced(block, b_sub[:, op.layer],
+                    sim._apply_mixer_block_coalesced(block, betas,
                                                      op.n_trotters, scratch)
                     coalesced_ops += 1
                 else:
-                    sim._apply_mixer_block(block, b_sub[:, op.layer],
-                                           op.n_trotters, scratch)
+                    sim._apply_mixer_block(block, betas, op.n_trotters,
+                                           scratch)
+            elif isinstance(op, FusedMixerExpectationOp):
+                values = sim._apply_mixer_expectation_block(
+                    block, g_sub[:, op.layer] if op.with_phase else None,
+                    b_sub[:, op.layer], op, scratch, staged_costs, plan)
+                mixer_expectation_ops += 1
+                if op.with_phase:
+                    fused_ops += 1
             else:  # ExpectationOp
                 values = sim._block_expectations(block, staged_costs)
         with self._lock:
             self.stats.fused_ops_executed += fused_ops
             self.stats.coalesced_exchange_ops += coalesced_ops
+            self.stats.mixer_expectation_fused_ops += mixer_expectation_ops
+            self.stats.merged_ops_executed += merged_ops
+            self.stats.staged_phase_ops += staged_phase
             self.stats.blocks_executed += 1
             self.stats.rows_executed += int(g_sub.shape[0])
         return block, values
@@ -470,7 +520,14 @@ class ExecutionEngine:
                        memory_budget: float | None = None,
                        mode: str = "auto",
                        optimize: str | None = None, **kwargs: Any) -> list[Any]:
-        """Evolve a batch of schedules; one backend result object per schedule."""
+        """Evolve a batch of schedules; one backend result object per schedule.
+
+        Requires a ``statevector``-capable backend: an ``expectation-only``
+        family (e.g. tensornet) raises
+        :class:`~repro.fur.capabilities.UnsupportedCapabilityError` up front
+        instead of failing deep inside the block walk.
+        """
+        require_capability(self._sim, "statevector")
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         if self._resolve_mode(mode) == "looped":
             with self._lock:
@@ -501,6 +558,7 @@ class ExecutionEngine:
         after their reduction, so peak memory follows the budget, not the
         batch size.
         """
+        require_capability(self._sim, "expectation")
         g, b = validate_angle_batches(gammas_batch, betas_batch)
         resolved = self._sim._resolve_costs(costs)
         if self._resolve_mode(mode) == "looped":

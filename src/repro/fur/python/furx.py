@@ -194,7 +194,8 @@ def _group_kron(u: np.ndarray, k: int) -> np.ndarray:
 
 def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
                    group_size: int = BATCH_GROUP_QUBITS,
-                   scratch: np.ndarray | None = None) -> np.ndarray:
+                   scratch: np.ndarray | None = None,
+                   copy_back: bool = True) -> np.ndarray:
     """Batched Algorithm 2: ``exp(-i β_b Σ_i X_i)`` on every row of a block.
 
     Instead of 2×2 pair updates (one memory sweep per qubit), qubits are fused
@@ -203,7 +204,9 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
     cuts the number of full-block memory sweeps by ``group_size`` and turns
     the mixer into gemm work.  Passes ping-pong between ``block`` and
     ``scratch``; the final result is always written back into ``block``
-    (modified in place and returned).
+    (modified in place and returned), unless ``copy_back=False`` — then the
+    buffer holding the result is returned without the write-back (read-only
+    consumers like the fused expectation reduction skip a full block sweep).
 
     ``scratch`` must be a buffer with ``block``'s shape and dtype (allocated
     here when omitted; callers evolving many layers should preallocate one).
@@ -214,7 +217,8 @@ def furx_all_batch(block: np.ndarray, betas: np.ndarray, n_qubits: int, *,
     # to the matching-precision gemm instead of a widened fallback.
     u = _su2_batch_matrices(betas_arr, dtype=block.dtype)
     scratch = _check_scratch(block, scratch)
-    return _group_pass_loop(block, scratch, u, n_qubits, 0, group_size)
+    return _group_pass_loop(block, scratch, u, n_qubits, 0, group_size,
+                            copy_back=copy_back)
 
 
 def _validate_group_kernel_block(block: np.ndarray, n_qubits: int,
@@ -242,13 +246,17 @@ def _check_scratch(block: np.ndarray, scratch: np.ndarray | None) -> np.ndarray:
 
 def _group_pass_loop(block: np.ndarray, scratch: np.ndarray, u: np.ndarray,
                      n_qubits: int, q_start: int, group_size: int,
-                     start_in_scratch: bool = False) -> np.ndarray:
+                     start_in_scratch: bool = False,
+                     copy_back: bool = True) -> np.ndarray:
     """The gemm-grouped pass loop over qubits ``q_start … n−1``.
 
     Passes ping-pong between ``block`` and ``scratch``; the final result is
-    always written back into ``block``.  ``start_in_scratch`` indicates the
-    current state lives in ``scratch`` (used by the fused phase kernel,
-    whose phase multiply lands there).
+    written back into ``block`` — unless ``copy_back=False``, in which case
+    the buffer actually holding the result (``block`` or ``scratch``) is
+    returned as-is, saving a full block write+read when the caller only
+    *reads* the result (the fused mixer→expectation reduction).
+    ``start_in_scratch`` indicates the current state lives in ``scratch``
+    (used by the fused phase kernel, whose phase multiply lands there).
     """
     rows, n_states = block.shape
     src, dst = (scratch, block) if start_in_scratch else (block, scratch)
@@ -269,9 +277,10 @@ def _group_pass_loop(block: np.ndarray, scratch: np.ndarray, u: np.ndarray,
                       out=dst.reshape(rows, groups, dim, stride))
         src, dst = dst, src
         q += k
-    if src is not block:
+    if src is not block and copy_back:
         np.copyto(block, src)
-    return block
+        return block
+    return src
 
 
 #: Amplitudes (summed over all rows) per chunk of the fused phase+first-pass
@@ -287,7 +296,8 @@ def furx_phase_all_batch(block: np.ndarray, gammas: np.ndarray, betas: np.ndarra
                          group_size: int = BATCH_GROUP_QUBITS,
                          scratch: np.ndarray | None = None,
                          phase_buf: np.ndarray | None = None,
-                         chunk: int = _FUSED_PHASE_CHUNK) -> np.ndarray:
+                         chunk: int = _FUSED_PHASE_CHUNK,
+                         copy_back: bool = True) -> np.ndarray:
     """Fused layer kernel: per-row ``exp(-i β_b Σ X_i) · exp(-i γ_b C)``.
 
     The separate batched phase sweep re-streams the whole ``(B, 2^n)`` block
@@ -363,7 +373,8 @@ def furx_phase_all_batch(block: np.ndarray, gammas: np.ndarray, betas: np.ndarra
     # (scratch when the first pass ran inside the chunk loop).
     return _group_pass_loop(block, scratch, u, n_qubits,
                             k if fuse_first_pass else 0, group_size,
-                            start_in_scratch=fuse_first_pass)
+                            start_in_scratch=fuse_first_pass,
+                            copy_back=copy_back)
 
 
 def fwht_inplace(vector: np.ndarray) -> np.ndarray:

@@ -1,13 +1,13 @@
 """Backend registry and the ``repro.simulator`` construction facade.
 
 The paper's portability claim (Listings 1–3: identical user code across CPU,
-GPU and distributed backends) previously leaned on three parallel
-``choose_simulator*`` functions and a dict-of-lambdas.  This module replaces
-them with a single extension point:
+GPU and distributed backends) is carried by a single extension point:
 
 * :class:`BackendSpec` — capability metadata for one backend family: the
-  mixers it implements, its device class, whether it is distributed, and a
-  priority used to resolve ``backend="auto"``;
+  mixers it implements, its device class, whether it is distributed, its
+  capability tier (``full`` vs ``expectation-only`` vs ``amplitude-only`` —
+  see :mod:`repro.fur.capabilities`), and a priority used to resolve
+  ``backend="auto"``;
 * :class:`BackendRegistry` — name/alias resolution, capability filtering and
   lazy loading over a set of specs;
 * :func:`register_backend` — decorator through which backends self-register a
@@ -50,6 +50,11 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from .capabilities import (
+    UnsupportedCapabilityError,
+    resolve_capability_tier,
+    tier_supports,
+)
 from .precision import KNOWN_PRECISIONS, resolve_precision
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -104,6 +109,11 @@ class BackendSpec:
         Simulation precisions the family implements (``"double"`` and/or
         ``"single"`` — see :mod:`repro.fur.precision`).  Defaults to
         double-only; backends must opt in to the complex64 path.
+    capabilities:
+        Capability tier (see :mod:`repro.fur.capabilities`): ``"full"``
+        (statevector + expectation + amplitude), ``"expectation-only"``
+        or ``"amplitude-only"``.  Resolution validates requests against it
+        and ``auto`` only ever picks full-tier backends.
     plan_rewrites:
         Names of the plan-rewrite optimizer passes (:mod:`repro.fur.rewrite`)
         at least one of the family's simulator classes has kernels for
@@ -125,6 +135,7 @@ class BackendSpec:
     device: str = "cpu"
     distributed: bool = False
     precisions: tuple[str, ...] = ("double",)
+    capabilities: str = "full"
     plan_rewrites: tuple[str, ...] = ()
     priority: int = 0
     description: str = ""
@@ -138,6 +149,11 @@ class BackendSpec:
     def supports_precision(self, precision: str) -> bool:
         """Whether this family implements the given simulation precision."""
         return resolve_precision(precision).name in self.precisions
+
+    def supports_capability(self, operation: str) -> bool:
+        """Whether the family's tier serves one operation
+        (``"statevector"``, ``"expectation"`` or ``"amplitude"``)."""
+        return tier_supports(self.capabilities, operation)
 
     def supports_rewrite(self, name: str) -> bool:
         """Whether the family advertises kernels for one plan rewrite."""
@@ -223,6 +239,7 @@ class BackendRegistry:
                          mixers: Iterable[str] = ("x",), device: str = "cpu",
                          distributed: bool = False,
                          precisions: Iterable[str] = ("double",),
+                         capabilities: str = "full",
                          plan_rewrites: Iterable[str] = (),
                          priority: int = 0,
                          description: str = "",
@@ -243,6 +260,7 @@ class BackendRegistry:
                     device=device,
                     distributed=distributed,
                     precisions=tuple(resolve_precision(p).name for p in precisions),
+                    capabilities=resolve_capability_tier(capabilities),
                     plan_rewrites=tuple(plan_rewrites),
                     priority=priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
@@ -273,7 +291,7 @@ class BackendRegistry:
         lines = []
         for name in self.names():
             spec = self._specs[name]
-            tags = [spec.device]
+            tags = [spec.device, spec.capabilities]
             if spec.distributed:
                 tags.append("distributed")
             alias_note = f" (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
@@ -310,14 +328,19 @@ class BackendRegistry:
             raise self._unknown_backend_error(name) from None
 
     def resolve(self, name: str = "auto", *, mixer: str | None = None,
-                precision: str | None = None) -> BackendSpec:
+                precision: str | None = None,
+                capability: str | None = None) -> BackendSpec:
         """Resolve a backend request to a concrete, importable spec.
 
         With ``name="auto"``, the highest-priority non-distributed backend
         that imports successfully (and implements ``mixer`` and
         ``precision``, if given) is chosen — so a broken optional dependency
         silently falls back to the next-fastest family instead of failing
-        construction.
+        construction.  ``capability`` names the operation the caller needs
+        (``"statevector"``, ``"expectation"`` or ``"amplitude"``): ``auto``
+        filters candidates by it (and restricts to the ``full`` tier when it
+        is omitted), while an explicitly named backend that cannot serve it
+        raises :class:`~repro.fur.capabilities.UnsupportedCapabilityError`.
         """
         if precision is not None:
             precision = resolve_precision(precision).name
@@ -333,6 +356,8 @@ class BackendRegistry:
             candidates = [
                 s for s in map(self._specs.__getitem__, self.names())
                 if not s.distributed
+                and (s.supports_capability(capability) if capability is not None
+                     else s.capabilities == "full")
                 and (mixer is None or s.supports_mixer(mixer))
                 and (precision is None or s.supports_precision(precision))
             ]
@@ -353,6 +378,14 @@ class BackendRegistry:
                 else f"no simulator backend is available{detail}"
             )
         spec = self.spec(name)
+        if capability is not None and not spec.supports_capability(capability):
+            supporting = sorted(s.name for s in self._specs.values()
+                                if s.supports_capability(capability))
+            raise UnsupportedCapabilityError(
+                f"backend {spec.name!r} is {spec.capabilities!r} and cannot "
+                f"serve {capability!r} requests (backends implementing "
+                f"{capability!r}: {', '.join(supporting) or 'none'})"
+            )
         if mixer is not None and not spec.supports_mixer(mixer):
             supporting = [s.name for s in self._specs.values() if s.supports_mixer(mixer)]
             raise ValueError(
@@ -446,14 +479,16 @@ def load_entry_point_backends(target: BackendRegistry | None = None, *,
 
 
 def get_backend(name: str = "auto", *, mixer: str | None = None,
-                precision: str | None = None) -> BackendSpec:
+                precision: str | None = None,
+                capability: str | None = None) -> BackendSpec:
     """Resolve a backend name/alias to its :class:`BackendSpec`.
 
     This is the introspection companion of :func:`simulator`: it exposes the
-    capability metadata (supported mixers, precisions, device class,
-    distributed-ness) without constructing anything.
+    capability metadata (supported mixers, precisions, capability tier,
+    device class, distributed-ness) without constructing anything.
     """
-    return registry.resolve(name, mixer=mixer, precision=precision)
+    return registry.resolve(name, mixer=mixer, precision=precision,
+                            capability=capability)
 
 
 def get_simulator_class(name: str = "auto", mixer: str = "x",
@@ -464,13 +499,16 @@ def get_simulator_class(name: str = "auto", mixer: str = "x",
 
 def available_backends(*, mixer: str | None = None,
                        precision: str | None = None,
+                       capability: str | None = None,
                        importable_only: bool = False) -> list[str]:
     """Names of registered backends, optionally filtered by capability.
 
     ``mixer`` restricts to families implementing that mixer; ``precision``
-    to families implementing that simulation precision;
-    ``importable_only`` additionally imports each candidate and drops the ones
-    whose optional dependencies are missing.
+    to families implementing that simulation precision; ``capability`` to
+    families whose tier serves that operation (``"statevector"``,
+    ``"expectation"`` or ``"amplitude"``); ``importable_only`` additionally
+    imports each candidate and drops the ones whose optional dependencies
+    are missing.
     """
     if precision is not None:
         precision = resolve_precision(precision).name
@@ -480,6 +518,8 @@ def available_backends(*, mixer: str | None = None,
         if mixer is not None and not spec.supports_mixer(mixer):
             continue
         if precision is not None and not spec.supports_precision(precision):
+            continue
+        if capability is not None and not spec.supports_capability(capability):
             continue
         if importable_only and not spec.available:
             continue

@@ -18,7 +18,14 @@ from .compile import (
 )
 from .fusion import embed_gate_matrix, fuse_circuit, fuse_gates
 from .gate import Gate
-from .qaoa import QAOAGateBasedSimulator, build_qaoa_circuit, qaoa_layer_circuit
+from .qaoa import (
+    QAOAGateBasedSimulator,
+    QAOAGateBasedXSimulator,
+    QAOAGateBasedXYCompleteSimulator,
+    QAOAGateBasedXYRingSimulator,
+    build_qaoa_circuit,
+    qaoa_layer_circuit,
+)
 from .statevector import StatevectorSimulator, apply_gate
 
 __all__ = [
@@ -36,6 +43,9 @@ __all__ = [
     "build_qaoa_circuit",
     "qaoa_layer_circuit",
     "QAOAGateBasedSimulator",
+    "QAOAGateBasedXSimulator",
+    "QAOAGateBasedXYRingSimulator",
+    "QAOAGateBasedXYCompleteSimulator",
     "fuse_gates",
     "fuse_circuit",
     "embed_gate_matrix",

@@ -37,6 +37,7 @@ import sys
 import types
 from typing import Any
 
+from ..fur.capabilities import UnsupportedCapabilityError
 from .admission import (
     AdmissionController,
     AdmissionError,
@@ -66,6 +67,7 @@ __all__ = [
     "AdmissionController",
     "ServeError",
     "AdmissionError",
+    "UnsupportedCapabilityError",
     "ServiceOverloadedError",
     "ServiceClosedError",
     "EventLoopThread",

@@ -47,6 +47,7 @@ import numpy as np
 
 from ..fur.base import QAOAFastSimulatorBase, validate_angles
 from ..fur.cache import problem_fingerprint
+from ..fur.capabilities import UnsupportedCapabilityError
 from ..fur.precision import resolve_precision
 from ..fur.registry import registry, simulator as construct_simulator
 from ..fur.rewrite import resolve_optimize
@@ -241,9 +242,15 @@ class QAOAService:
                          else resolve_optimize(optimize))
         self._admission.check(n_qubits, precision_name)
         # Resolve "auto" (and aliases) to the canonical registry name so
-        # equivalent spellings share routing keys — and hence batches.
+        # equivalent spellings share routing keys — and hence batches.  The
+        # service only ever issues expectation requests, so an
+        # ``expectation-only`` backend (tensornet) is routable; a backend
+        # that cannot serve expectations is rejected here with a typed
+        # UnsupportedCapabilityError instead of an AttributeError deep in
+        # the batch walk.
         spec = registry.resolve(backend or self._default_backend, mixer=mixer,
-                                precision=precision_name)
+                                precision=precision_name,
+                                capability="expectation")
         normalized = validate_terms(terms, n_qubits)
         fingerprint = problem_fingerprint(normalized, n_qubits)
         self._problems.setdefault(fingerprint, normalized)
@@ -299,7 +306,7 @@ class QAOAService:
         try:
             key, g, b = self._route(n_qubits, terms, gammas, betas,
                                     backend, mixer, precision, optimize)
-        except AdmissionError:
+        except (AdmissionError, UnsupportedCapabilityError):
             self._stats.record_rejected()
             raise
         if self._pending >= self._admission.max_pending:

@@ -71,10 +71,17 @@ class TensorNetworkSimulator:
                                num_tensors=net.num_tensors)
 
     def batch_amplitudes(self, circuit: QuantumCircuit, outputs: Iterable[Sequence[int]],
-                         *, initial_state: str = "zero") -> np.ndarray:
-        """Amplitudes for several output bitstrings (one contraction each)."""
+                         *, initial_state: str = "zero",
+                         order: list[ContractionStep] | None = None) -> np.ndarray:
+        """Amplitudes for several output bitstrings (one contraction each).
+
+        ``order`` reuses one precomputed contraction order for every output:
+        the network's index structure does not depend on *which* bitstring is
+        projected out, so a single greedy search amortizes over the batch.
+        """
         return np.array(
-            [self.amplitude(circuit, bits, initial_state=initial_state) for bits in outputs],
+            [self.amplitude(circuit, bits, initial_state=initial_state, order=order)
+             for bits in outputs],
             dtype=np.complex128,
         )
 

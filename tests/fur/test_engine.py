@@ -275,13 +275,22 @@ class TestEngineStatsAndModes:
     def test_fused_mode_requires_a_kernel_provider(self):
         from repro.gates.qaoa import QAOAGateBasedSimulator
 
-        sim = QAOAGateBasedSimulator(4, terms=[(1.0, (0, 1))])
-        assert not sim.supports_fused_engine
+        # every registered family is a kernel provider now, so degrade one
+        class NoEngine(QAOAGateBasedSimulator):
+            supports_fused_engine = False
+
+        sim = NoEngine(4, terms=[(1.0, (0, 1))])
         with pytest.raises(ValueError, match="kernel-provider"):
             sim.get_expectation_batch([[0.1]], [[0.2]], mode="fused")
         # auto falls back to the looped path instead
         values = sim.get_expectation_batch([[0.1]], [[0.2]])
         assert values.shape == (1,)
+        # the real gates simulator runs the fused engine path
+        fused = QAOAGateBasedSimulator(4, terms=[(1.0, (0, 1))])
+        assert fused.supports_fused_engine
+        np.testing.assert_allclose(
+            fused.get_expectation_batch([[0.1]], [[0.2]], mode="fused"),
+            values, rtol=1e-12)
 
     def test_fused_rejects_unknown_kwargs(self, rng):
         sim = repro.simulator(5, terms=labs.get_terms(5), backend="python")

@@ -7,8 +7,9 @@ Covers
   reproducible from the seed printed in the pytest header), asserting
   optimized == unoptimized == looped within the established envelopes
   (1e-5 single / 1e-12 double) for every importable backend,
-* unit semantics of the three passes (FusePhaseIntoMixer, CoalesceExchanges,
-  EliminateNoOps), including capability gating and fused-op demotion,
+* unit semantics of the six passes (FusePhaseIntoMixer, CoalesceExchanges,
+  FoldInitialPhase, FuseMixerIntoExpectation, EliminateNoOps,
+  ReorderCommuting), including capability gating and fused-op demotion,
 * the ``optimize`` knob: constructor default, per-call override, facade
   validation and plan-cache key membership,
 * the coalesced gpumpi exchange: bitwise consistency with the per-row path
@@ -24,7 +25,11 @@ import repro
 from repro.fur import available_backends, get_backend
 from repro.fur.engine import (
     ExpectationOp,
+    FusedMixerExpectationOp,
     FusedPhaseMixerOp,
+    InitialPhaseOp,
+    MergedMixerOp,
+    MergedPhaseOp,
     MixerOp,
     PhaseOp,
 )
@@ -32,7 +37,10 @@ from repro.fur.rewrite import (
     DEFAULT_PASSES,
     CoalesceExchanges,
     EliminateNoOps,
+    FoldInitialPhase,
+    FuseMixerIntoExpectation,
     FusePhaseIntoMixer,
+    ReorderCommuting,
     resolve_optimize,
     run_passes,
 )
@@ -52,11 +60,18 @@ N_TRIALS = 3
 
 def _random_config(rng, spec):
     """One random problem/schedule configuration for a backend spec."""
-    n = int(rng.integers(5, 9))
+    if spec.capabilities != "full":
+        # expectation-only backends (tensornet) contract all 2^n output
+        # amplitudes per schedule row — keep the randomized cell small.
+        n = int(rng.integers(4, 6))
+        p = int(rng.integers(1, 3))
+        batch = int(rng.integers(1, 3))
+    else:
+        n = int(rng.integers(5, 9))
+        p = int(rng.integers(1, 5))
+        batch = int(rng.integers(1, 6))
     mixer = str(rng.choice(spec.mixers))
     terms = random_terms(rng, n, n_terms=int(rng.integers(3, 9)))
-    p = int(rng.integers(1, 5))
-    batch = int(rng.integers(1, 6))
     gammas = rng.uniform(-2.0, 2.0, (p,))[None, :] * rng.uniform(0.5, 1.0, (batch, 1))
     betas = rng.uniform(-2.0, 2.0, (batch, p))
     gammas = np.ascontiguousarray(gammas)
@@ -105,6 +120,8 @@ class TestRandomizedParityHarness:
     def test_simulate_batch_states_match_unoptimized(self, backend, seeded_rng):
         """The evolved states (not just expectations) survive the rewrites."""
         spec = get_backend(backend)
+        if not spec.supports_capability("statevector"):
+            pytest.skip(f"{backend} is {spec.capabilities}: no statevectors")
         kwargs = {"n_ranks": 2} if spec.distributed else {}
         terms = labs.get_terms(6)
         gb = seeded_rng.uniform(-1.0, 1.0, (3, 2))
@@ -123,19 +140,28 @@ class TestPassSemantics:
         sim = repro.simulator(6, terms=labs.get_terms(6), backend="python")
         plan = sim.engine.plan(3)
         assert plan.optimize == "default"
+        # every layer fuses phase+mixer; the tail additionally absorbs the
+        # expectation reduction (FuseMixerIntoExpectation)
         assert plan.ops == (FusedPhaseMixerOp(0), FusedPhaseMixerOp(1),
-                            FusedPhaseMixerOp(2), ExpectationOp())
+                            FusedMixerExpectationOp(2, with_phase=True))
         fuse = [r for r in plan.rewrites if r.pass_name == "fuse-phase-mixer"]
         assert fuse and fuse[0].rewrites == 3
         assert fuse[0].ops_before == 7 and fuse[0].ops_after == 4
+        fme = [r for r in plan.rewrites if r.pass_name == "fuse-mixer-expectation"]
+        assert fme and fme[0].rewrites == 1
+        assert fme[0].ops_before == 4 and fme[0].ops_after == 3
 
     def test_xy_mixers_keep_split_ops(self):
         sim = repro.simulator(6, terms=labs.get_terms(6), backend="python",
                               mixer="xyring")
         plan = sim.engine.plan(2)
-        assert plan.ops == (PhaseOp(0), MixerOp(0, 1),
+        # no fused XY kernels, but the head phase folds into block staging
+        assert plan.ops == (InitialPhaseOp(0), MixerOp(0, 1),
                             PhaseOp(1), MixerOp(1, 1), ExpectationOp())
-        assert all(r.rewrites == 0 for r in plan.rewrites)
+        fold = [r for r in plan.rewrites if r.pass_name == "fold-initial-phase"]
+        assert fold and fold[0].rewrites == 1
+        assert all(r.rewrites == 0 for r in plan.rewrites
+                   if r.pass_name != "fold-initial-phase")
 
     def test_coalesce_marks_gpumpi_ops_only(self):
         terms = labs.get_terms(6)
@@ -162,9 +188,13 @@ class TestPassSemantics:
         betas = np.array([[0.4, 0.0], [0.1, 0.0]])
         out, reports = run_passes(ops, object(), gammas=gammas, betas=betas,
                                   stage="execute")
-        assert out == (MixerOp(0), PhaseOp(1), ExpectationOp())
+        # elimination drops the zero columns; the surviving PhaseOp(1) then
+        # trails into the expectation and the reorder pass drops it too
+        assert out == (MixerOp(0), ExpectationOp())
         assert reports[0].pass_name == "eliminate-noops"
         assert reports[0].rewrites == 2
+        assert reports[1].pass_name == "reorder-commuting"
+        assert reports[1].rewrites == 1
 
     def test_eliminate_requires_column_zero_across_whole_batch(self):
         ops = (PhaseOp(0), MixerOp(0))
@@ -182,8 +212,9 @@ class TestPassSemantics:
         out, reports = run_passes(ops, object(), gammas=gammas, betas=betas,
                                   stage="execute")
         # layer 0: zero gamma -> mixer half survives (coalesce preserved);
-        # layer 1: zero beta -> phase half survives; layer 2: fully dropped.
-        assert out == (MixerOp(0, coalesce=True), PhaseOp(1), ExpectationOp())
+        # layer 1: zero beta -> phase half survives but trails into the
+        # expectation and is dropped by reorder; layer 2: fully dropped.
+        assert out == (MixerOp(0, coalesce=True), ExpectationOp())
         assert reports[0].rewrites == 3
 
     def test_all_zero_schedule_reduces_to_initial_state(self):
@@ -192,19 +223,91 @@ class TestPassSemantics:
         diag = sim.get_cost_diagonal()
         expected = float(diag.mean())  # uniform superposition expectation
         np.testing.assert_allclose(values, [expected, expected], atol=1e-12)
-        # the three layers were fused at compile time, so three (fused) ops drop
-        assert sim.engine.stats.ops_eliminated == 3
+        # compile plan is (F0, F1, FME2): the two fused layers drop outright
+        # and the tail op demotes to a bare expectation (3 ops -> 1 op)
+        assert sim.engine.stats.ops_eliminated == 2
 
     def test_default_pipeline_order(self):
         kinds = [type(p) for p in DEFAULT_PASSES]
-        assert kinds == [FusePhaseIntoMixer, CoalesceExchanges, EliminateNoOps]
+        assert kinds == [FusePhaseIntoMixer, CoalesceExchanges,
+                         FoldInitialPhase, FuseMixerIntoExpectation,
+                         EliminateNoOps, ReorderCommuting]
         assert not FusePhaseIntoMixer.needs_angles
         assert not CoalesceExchanges.needs_angles
+        assert not FoldInitialPhase.needs_angles
+        assert not FuseMixerIntoExpectation.needs_angles
         assert EliminateNoOps.needs_angles
+        assert ReorderCommuting.needs_angles
 
     def test_run_passes_rejects_unknown_stage(self):
         with pytest.raises(ValueError, match="unknown rewrite stage"):
             run_passes((), object(), stage="later")
+
+
+class _Flags:
+    """Minimal stand-in provider exposing only the given capability flags."""
+
+    def __init__(self, **flags):
+        self.__dict__.update(flags)
+
+
+class TestNewPassSemantics:
+    """Unit semantics of FoldInitialPhase, FuseMixerIntoExpectation and
+    ReorderCommuting against stub providers."""
+
+    def test_fold_initial_phase_only_rewrites_the_head_op(self):
+        fold = FoldInitialPhase()
+        staged = _Flags(supports_staged_phase=True)
+        ops = (PhaseOp(0), MixerOp(0), PhaseOp(1), ExpectationOp())
+        out, n = fold.run(ops, staged)
+        assert out == (InitialPhaseOp(0), MixerOp(0), PhaseOp(1), ExpectationOp())
+        assert n == 1
+        # a non-phase head op is not a known state: no fold
+        tail_first = (MixerOp(0), PhaseOp(1), ExpectationOp())
+        assert fold.run(tail_first, staged) == (tail_first, 0)
+        # gated on the provider capability
+        assert fold.run(ops, _Flags()) == (ops, 0)
+
+    def test_fuse_mixer_into_expectation_rewrites_the_tail(self):
+        fme = FuseMixerIntoExpectation()
+        cap = _Flags(supports_fused_mixer_expectation=True)
+        ops = (PhaseOp(0), MixerOp(1, 2), ExpectationOp())
+        out, n = fme.run(ops, cap)
+        assert out == (PhaseOp(0), FusedMixerExpectationOp(1, n_trotters=2))
+        assert n == 1
+        # a fused phase+mixer tail keeps its phase half (with_phase=True)
+        out2, n2 = fme.run((FusedPhaseMixerOp(1), ExpectationOp()), cap)
+        assert out2 == (FusedMixerExpectationOp(1, with_phase=True),)
+        assert n2 == 1
+        # coalesced (distributed) tails are left alone
+        coalesced = (MixerOp(1, coalesce=True), ExpectationOp())
+        assert fme.run(coalesced, cap) == (coalesced, 0)
+        # gated on the provider capability
+        assert fme.run(ops, _Flags()) == (ops, 0)
+
+    def test_reorder_merges_adjacent_commuting_sweeps(self):
+        reorder = ReorderCommuting()
+        ops = (PhaseOp(0), PhaseOp(1), MixerOp(0), MixerOp(1), MixerOp(2),
+               ExpectationOp())
+        out, n = reorder.run(ops, _Flags(mixer_self_commutes=True))
+        assert out == (MergedPhaseOp((0, 1)), MergedMixerOp((0, 1, 2)),
+                       ExpectationOp())
+        assert n == 3
+        # a non-self-commuting mixer blocks the mixer merge only
+        out2, n2 = reorder.run(ops, _Flags())
+        assert out2 == (MergedPhaseOp((0, 1)), MixerOp(0), MixerOp(1),
+                        MixerOp(2), ExpectationOp())
+        assert n2 == 1
+        # mismatched Trotterization blocks the merge too
+        ops3 = (MixerOp(0, 2), MixerOp(1, 3), ExpectationOp())
+        assert reorder.run(ops3, _Flags(mixer_self_commutes=True)) == (ops3, 0)
+
+    def test_reorder_drops_trailing_diagonals(self):
+        reorder = ReorderCommuting()
+        ops = (MixerOp(0), PhaseOp(1), MergedPhaseOp((2, 3)), ExpectationOp())
+        out, n = reorder.run(ops, _Flags())
+        assert out == (MixerOp(0), ExpectationOp())
+        assert n == 2
 
 
 class TestOptimizeKnob:
@@ -251,8 +354,14 @@ class TestOptimizeKnob:
 
     def test_backend_spec_advertises_rewrites(self):
         assert get_backend("python").supports_rewrite("fuse-phase-mixer")
+        assert get_backend("python").supports_rewrite("fold-initial-phase")
+        assert get_backend("c").supports_rewrite("fuse-mixer-expectation")
         assert get_backend("gpumpi").supports_rewrite("coalesce-exchanges")
         assert not get_backend("cusvmpi").supports_rewrite("coalesce-exchanges")
+        # the baselines only have kernels for the angle-merging rewrites
+        assert get_backend("gates").supports_rewrite("reorder-commuting")
+        assert not get_backend("gates").supports_rewrite("fuse-phase-mixer")
+        assert get_backend("tensornet").supports_rewrite("reorder-commuting")
 
 
 class TestCoalescedExchange:
@@ -341,9 +450,49 @@ class TestRewriteStats:
         sim.get_expectation_batch(gb, bb)
         stats = sim.engine.stats.as_dict()
         assert stats["fused_ops_executed"] == 3  # one per layer, one block
+        assert stats["mixer_expectation_fused_ops"] == 1  # the plan tail
         assert stats["rewrites"]["fuse-phase-mixer"]["rewrites"] == 3
         assert stats["rewrites"]["fuse-phase-mixer"]["ops_before"] == 7
         assert stats["rewrites"]["fuse-phase-mixer"]["ops_after"] == 4
+        assert stats["rewrites"]["fuse-mixer-expectation"]["rewrites"] == 1
+
+    def test_staged_phase_counted(self, seeded_rng):
+        # the XY families have no fused kernels, so the head phase op folds
+        # into the staging write (InitialPhaseOp) and is counted as such
+        sim = repro.simulator(6, terms=labs.get_terms(6), backend="python",
+                              mixer="xyring")
+        gb = seeded_rng.uniform(0.3, 1.0, (2, 2))
+        bb = seeded_rng.uniform(0.3, 1.0, (2, 2))
+        sim.get_expectation_batch(gb, bb)
+        stats = sim.engine.stats.as_dict()
+        assert stats["staged_phase_ops"] == 1  # one block staged with phase
+        assert stats["rewrites"]["fold-initial-phase"]["rewrites"] == 1
+
+    def test_merged_mixers_counted_and_exact(self, seeded_rng):
+        # all-zero gammas demote every fused layer to its mixer half; the
+        # X mixer self-commutes so the adjacent sweeps merge into one op
+        sim = repro.simulator(6, terms=labs.get_terms(6), backend="python")
+        gb = np.zeros((2, 3))
+        bb = seeded_rng.uniform(0.3, 1.0, (2, 3))
+        values = sim.get_expectation_batch(gb, bb)
+        stats = sim.engine.stats.as_dict()
+        assert stats["merged_ops_executed"] == 1       # MixerOp(0)+MixerOp(1)
+        assert stats["mixer_expectation_fused_ops"] == 1  # demoted FME tail
+        np.testing.assert_allclose(
+            values, sim.get_expectation_batch(gb, bb, optimize="none"),
+            atol=1e-12)
+
+    def test_merged_phases_counted_and_exact(self, seeded_rng):
+        # zero betas in the first two layers leave two adjacent phase sweeps
+        sim = repro.simulator(6, terms=labs.get_terms(6), backend="python")
+        gb = seeded_rng.uniform(0.3, 1.0, (2, 3))
+        bb = np.concatenate([np.zeros((2, 2)),
+                             seeded_rng.uniform(0.3, 1.0, (2, 1))], axis=1)
+        values = sim.get_expectation_batch(gb, bb)
+        assert sim.engine.stats.merged_ops_executed == 1  # MergedPhaseOp((0,1))
+        np.testing.assert_allclose(
+            values, sim.get_expectation_batch(gb, bb, optimize="none"),
+            atol=1e-12)
 
     def test_coalesced_exchanges_counted(self, seeded_rng):
         sim = repro.simulator(6, terms=labs.get_terms(6), backend="gpumpi",

@@ -35,7 +35,9 @@ CPU_CLASSES = {
 
 class TestRegistryResolution:
     def test_canonical_names(self):
-        assert set(fur.available_backends()) == {"python", "c", "gpu", "gpumpi", "cusvmpi"}
+        assert set(fur.available_backends()) == {
+            "python", "c", "gpu", "gpumpi", "cusvmpi", "gates", "tensornet",
+        }
 
     def test_alias_resolution(self):
         assert fur.get_backend("numpy").name == "python"
@@ -79,6 +81,95 @@ class TestRegistryResolution:
         text = registry.describe()
         for name in fur.available_backends():
             assert name in text
+
+    def test_describe_mentions_capability_tiers(self):
+        text = registry.describe()
+        assert "expectation-only" in text
+        assert "full" in text
+
+
+class TestCapabilityTiers:
+    def test_baseline_backends_resolve_by_name_and_alias(self):
+        assert fur.get_backend("gates").name == "gates"
+        assert fur.get_backend("statevector").name == "gates"
+        assert fur.get_backend("tensornet").name == "tensornet"
+        assert fur.get_backend("tn").name == "tensornet"
+
+    def test_tier_metadata(self):
+        assert fur.get_backend("tensornet").capabilities == "expectation-only"
+        assert fur.get_backend("gates").capabilities == "full"
+        assert fur.get_backend("c").capabilities == "full"
+
+    def test_auto_never_picks_a_non_full_tier(self):
+        # tensornet is registered and importable but expectation-only, so a
+        # capability-less auto request must not resolve to it.
+        assert fur.get_backend("auto").capabilities == "full"
+        assert fur.get_backend("auto", capability="expectation").name == "c"
+
+    def test_available_backends_capability_filter(self):
+        sv = fur.available_backends(capability="statevector")
+        exp = fur.available_backends(capability="expectation")
+        assert "tensornet" not in sv
+        assert "tensornet" in exp
+        assert {"c", "python", "gates"} <= set(sv)
+
+    def test_explicit_name_with_unsupported_capability_raises(self):
+        from repro.fur import UnsupportedCapabilityError
+
+        with pytest.raises(UnsupportedCapabilityError, match="expectation-only"):
+            fur.get_backend("tensornet", capability="statevector")
+        # supported operation passes through
+        assert fur.get_backend("tensornet", capability="expectation").name == "tensornet"
+
+    def test_tensornet_constructs_and_serves_expectations(self):
+        from repro.fur import UnsupportedCapabilityError
+
+        sim = repro.simulator(3, terms=TERMS, backend="tensornet")
+        assert sim.backend_name == "tensornet"
+        assert sim.capability_tier == "expectation-only"
+        result = sim.simulate_qaoa([0.1], [0.2])
+        energy = sim.get_expectation(result)
+        costs = sim.get_cost_diagonal()
+        assert costs.min() - 1e-9 <= energy <= costs.max() + 1e-9
+        with pytest.raises(UnsupportedCapabilityError, match="statevector"):
+            sim.get_statevector(result)
+
+    def test_gates_backend_constructs_through_facade(self):
+        sim = repro.simulator(3, terms=TERMS, backend="gates", mixer="xyring")
+        assert sim.backend_name == "gates"
+        assert sim.mixer_name == "xyring"
+        result = sim.simulate_qaoa([0.1], [0.2])
+        probs = sim.get_probabilities(result)
+        np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-12)
+
+    def test_capability_helpers(self):
+        from repro.fur import (
+            UnsupportedCapabilityError,
+            require_capability,
+            resolve_capability_tier,
+            tier_supports,
+        )
+
+        assert resolve_capability_tier("full") == "full"
+        with pytest.raises(ValueError, match="unknown capability tier"):
+            resolve_capability_tier("partial")
+        assert tier_supports("expectation-only", "expectation")
+        assert not tier_supports("expectation-only", "amplitude")
+        with pytest.raises(ValueError, match="unknown operation"):
+            tier_supports("full", "teleportation")
+        # tier names, objects with a tier attribute, and objects without one
+        require_capability("full", "statevector")
+        with pytest.raises(UnsupportedCapabilityError, match="amplitude-only"):
+            require_capability("amplitude-only", "expectation", backend="toy")
+
+        class Tiered:
+            capability_tier = "expectation-only"
+            backend_name = "tiered"
+
+        require_capability(Tiered(), "expectation")
+        with pytest.raises(UnsupportedCapabilityError, match="'tiered'"):
+            require_capability(Tiered(), "statevector")
+        require_capability(object(), "amplitude")  # no attribute -> full
 
 
 class TestAutoFallback:
@@ -162,22 +253,31 @@ class TestSimulatorFacade:
         sim = repro.simulator(4, terms=TERMS, backend="c", block_size=8)
         assert sim.workspace.block_size == 8
 
-    def test_matches_legacy_chooser_classes(self):
-        with pytest.warns(DeprecationWarning):
-            legacy = fur.choose_simulator("c")
-        assert type(repro.simulator(4, terms=TERMS, backend="c")) is legacy
+    def test_matches_resolved_class(self):
+        cls = fur.get_simulator_class("c")
+        assert type(repro.simulator(4, terms=TERMS, backend="c")) is cls
+
+    def test_chooser_shims_are_gone(self):
+        # the v1.0 `choose_simulator*` deprecation shims were removed in v1.3
+        for shim in ["choose_simulator", "choose_simulator_xyring",
+                     "choose_simulator_xycomplete"]:
+            with pytest.raises(AttributeError):
+                getattr(fur, shim)
+
+    def test_listing1_flow(self):
+        """The paper's Listing 1, modulo the package name and registry API."""
+        simclass = fur.get_simulator_class("auto")
+        n = 6
+        terms = [(0.3, (i, j)) for i in range(n) for j in range(i + 1, n)]
+        sim = simclass(n, terms=terms)
+        costs = sim.get_cost_diagonal()
+        assert costs.shape == (64,)
+        result = sim.simulate_qaoa([0.1], [0.2])
+        energy = sim.get_expectation(result)
+        assert costs.min() - 1e-9 <= energy <= costs.max() + 1e-9
 
 
-class TestDeprecationShims:
-    def test_shims_warn_and_return_identical_classes(self):
-        for shim, mixer in [(fur.choose_simulator, "x"),
-                            (fur.choose_simulator_xyring, "xyring"),
-                            (fur.choose_simulator_xycomplete, "xycomplete")]:
-            for name in ["auto", "c", "python"]:
-                with pytest.warns(DeprecationWarning, match="deprecated"):
-                    cls = shim(name)
-                assert cls is fur.get_simulator_class(name, mixer)
-
+class TestLegacyViews:
     def test_legacy_simulators_view_matches_registry(self):
         assert set(fur.SIMULATORS) == set(fur.available_backends())
         assert fur.SIMULATORS["c"]()["x"] is QAOAFURXSimulatorC

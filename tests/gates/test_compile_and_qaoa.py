@@ -149,3 +149,44 @@ class TestGateBasedQAOASimulator:
         sim = QAOAGateBasedSimulator(6, terms=terms)
         layer = sim.layer_circuit(0.1, 0.2)
         assert layer.num_gates == phase_separator_gate_count(terms, 6, "ladder") + 6
+
+    def test_precision_and_dtype_knobs(self, small_maxcut):
+        _, terms = small_maxcut
+        double = QAOAGateBasedSimulator(6, terms=terms)
+        assert double.precision == "double"
+        single = QAOAGateBasedSimulator(6, terms=terms, precision="single")
+        assert single.precision == "single"
+        # the legacy dtype= spelling maps onto the precision knob
+        by_dtype = QAOAGateBasedSimulator(6, terms=terms, dtype=np.complex64)
+        assert by_dtype.precision == "single"
+        with pytest.raises(ValueError, match="conflicts"):
+            QAOAGateBasedSimulator(6, terms=terms, dtype=np.complex64,
+                                   precision="double")
+        rd = double.simulate_qaoa([0.1], [0.2])
+        rs = single.simulate_qaoa([0.1], [0.2])
+        assert double.get_statevector(rd).dtype == np.complex128
+        assert single.get_statevector(rs).dtype == np.complex64
+        assert double.get_expectation(rd) == pytest.approx(
+            single.get_expectation(rs), rel=1e-5)
+
+    def test_batched_evaluation_matches_sequential(self, small_maxcut, rng):
+        _, terms = small_maxcut
+        sim = QAOAGateBasedSimulator(6, terms=terms)
+        gb = rng.uniform(0.0, 1.0, (3, 2))
+        bb = rng.uniform(0.0, 1.0, (3, 2))
+        batched = sim.get_expectation_batch(gb, bb)
+        sequential = [sim.get_expectation(sim.simulate_qaoa(g, b))
+                      for g, b in zip(gb, bb)]
+        np.testing.assert_allclose(batched, sequential, rtol=1e-10)
+
+    def test_trotterized_xy_matches_fur(self, small_labs_terms, qaoa_angles):
+        gammas, betas = qaoa_angles
+        gate_sim = QAOAGateBasedSimulator(6, terms=small_labs_terms,
+                                          mixer="xyring")
+        fur_sim = get_simulator_class("c", mixer="xyring")(
+            6, terms=small_labs_terms)
+        e_gate = gate_sim.get_expectation(
+            gate_sim.simulate_qaoa(gammas, betas, n_trotters=2))
+        e_fur = fur_sim.get_expectation(
+            fur_sim.simulate_qaoa(gammas, betas, n_trotters=2))
+        assert e_gate == pytest.approx(e_fur, abs=1e-9)

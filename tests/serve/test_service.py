@@ -69,6 +69,35 @@ class TestSubmission:
                                       rel=1e-5)
 
 
+class TestCapabilityRouting:
+    def test_expectation_only_backend_is_routable(self):
+        # the service only issues expectation traffic, so tensornet
+        # (expectation-only tier) is a legal route
+        n, terms = 4, ring_terms(4)
+        with repro.serve(backend="python") as svc:
+            value = svc.submit_sync(n, terms, [0.1], [0.2], backend="tensornet")
+            assert svc.live_simulators()  # a tensornet sim was constructed
+        assert value == pytest.approx(
+            reference_value(n, terms, [0.1], [0.2]), rel=1e-9)
+
+    def test_backend_without_expectation_sheds_typed_error(self):
+        from repro.fur import UnsupportedCapabilityError
+        from repro.fur.registry import BackendSpec, registry
+
+        registry.register(BackendSpec(name="amponly", loader=dict,
+                                      mixers=("x",),
+                                      capabilities="amplitude-only",
+                                      priority=-99))
+        try:
+            with repro.serve(backend="python") as svc:
+                with pytest.raises(UnsupportedCapabilityError,
+                                   match="amplitude-only"):
+                    svc.submit_sync(N, TERMS, GAMMAS, BETAS, backend="amponly")
+                assert svc.stats.rejected == 1
+        finally:
+            registry.unregister("amponly")
+
+
 class TestRouting:
     def test_equivalent_spellings_share_routing_key(self):
         svc = QAOAService(backend="python")

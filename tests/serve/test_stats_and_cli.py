@@ -95,6 +95,9 @@ class TestCli:
         assert "python" in out
         assert "window_ms" in out
         assert "coalesced_hits" in out
+        # capability tiers are part of the operational surface
+        assert "tensornet" in out
+        assert "expectation-only" in out
 
     def test_json_mode_emits_parseable_snapshot(self, capsys):
         assert main(["--json"]) == 0
