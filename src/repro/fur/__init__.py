@@ -227,6 +227,41 @@ def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     }
 
 
+def _jit_describe_extra() -> str:
+    """Runtime-state line for ``describe()``: live path + thread count."""
+    from .jit import kernels
+
+    path = kernels.active_path()
+    note = ""
+    if path == "cc" and kernels.compiler_info():
+        note = f" compiler={kernels.compiler_info()}"
+    return (f"path={path} threads={kernels.effective_num_threads()}{note} "
+            f"(REPRO_NUM_THREADS/REPRO_JIT_PATH honored)")
+
+
+@register_backend("jit", aliases=("numba",), mixers=("x", "xyring", "xycomplete"),
+                  device="cpu", distributed=False,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
+                                 "fuse-mixer-expectation", "reorder-commuting"),
+                  priority=60,
+                  description="single-pass cache-blocked fused kernels "
+                              "(numba; compiled-C/numpy fallback ladder)",
+                  describe_extra=_jit_describe_extra)
+def _load_jit_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from .jit import (
+        QAOAFURXSimulatorJIT,
+        QAOAFURXYCompleteSimulatorJIT,
+        QAOAFURXYRingSimulatorJIT,
+    )
+
+    return {
+        "x": QAOAFURXSimulatorJIT,
+        "xyring": QAOAFURXYRingSimulatorJIT,
+        "xycomplete": QAOAFURXYCompleteSimulatorJIT,
+    }
+
+
 @register_backend("gpu", aliases=("nbcuda",), mixers=("x", "xyring", "xycomplete"),
                   device="gpu", distributed=False,
                   precisions=("double", "single"),

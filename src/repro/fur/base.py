@@ -234,6 +234,11 @@ class QAOAFastSimulatorBase(abc.ABC):
     #: (exact for X: exp(-iβ₁ΣX)·exp(-iβ₂ΣX) = exp(-i(β₁+β₂)ΣX)) — gates the
     #: mixer-merging half of the ReorderCommuting rewrite
     mixer_self_commutes: bool = False
+    #: whether the fused kernels execute a whole layer in one cache-blocked
+    #: pass over the block (the ``jit`` tier's X mixer) — the rewrite cost
+    #: model then prices mixer sweeps at ~2 streamed passes instead of one
+    #: per qubit when ordering the structural passes
+    supports_single_pass: bool = False
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,

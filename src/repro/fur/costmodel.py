@@ -49,12 +49,19 @@ __all__ = ["PlanCostModel", "order_structural_passes"]
 
 
 class PlanCostModel:
-    """Price op streams in bytes of memory traffic at a single rank."""
+    """Price op streams in bytes of memory traffic at a single rank.
 
-    def __init__(self, n_qubits: int, model: PerformanceModel | None = None) -> None:
+    ``single_pass_mixer`` models the ``jit`` kernel tier: its fused kernels
+    apply every butterfly of a layer per cache-sized tile, so a mixer sweep
+    streams the state ~2× (read + write) instead of once per qubit.
+    """
+
+    def __init__(self, n_qubits: int, model: PerformanceModel | None = None,
+                 *, single_pass_mixer: bool = False) -> None:
         self.model = model if model is not None else PerformanceModel()
         self.n_qubits = n_qubits
         self.states = self.model.local_states(n_qubits, 1)
+        self.single_pass_mixer = bool(single_pass_mixer)
 
     # -- per-op prices ---------------------------------------------------------
     def stage_bytes(self) -> int:
@@ -66,7 +73,11 @@ class PlanCostModel:
         db = self.model.diag_bytes
         states = self.states
         phase = states * (2 * sb + db)  # numerator of phase_time
-        mixer = self.n_qubits * 2 * sb * states  # numerator of mixer_compute_time
+        # streamed state sweeps per mixer: the tiled single-pass kernels
+        # touch the block ~twice (read + write); multi-pass kernels once per
+        # qubit rotation (numerator of mixer_compute_time)
+        mixer_sweeps = 2 if self.single_pass_mixer else self.n_qubits
+        mixer = mixer_sweeps * 2 * sb * states
         expectation = states * (sb + db)
         if isinstance(op, (PhaseOp, MergedPhaseOp)):
             return phase
@@ -111,7 +122,10 @@ def order_structural_passes(
     n_qubits = getattr(simulator, "n_qubits", None)
     if n_qubits is None or len(passes) < 2:
         return passes
-    model = PlanCostModel(n_qubits)
+    model = PlanCostModel(
+        n_qubits,
+        single_pass_mixer=bool(getattr(simulator, "supports_single_pass",
+                                       False)))
     best_order = passes
     best_cost: int | None = None
     for perm in permutations(passes):

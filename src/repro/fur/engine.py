@@ -153,6 +153,10 @@ class EngineStats:
     plan_compiles: int = 0
     plan_cache_hits: int = 0
     compile_time_s: float = 0.0
+    #: wall-clock seconds providers spent JIT-compiling kernels (numba type
+    #: specialization or the jit tier's one-time C build) — reported apart
+    #: from plan compilation and never included in execution timings
+    kernel_compile_time_s: float = 0.0
     blocks_executed: int = 0
     rows_executed: int = 0
     looped_evaluations: int = 0
@@ -193,6 +197,7 @@ class EngineStats:
             "plan_compiles": self.plan_compiles,
             "plan_cache_hits": self.plan_cache_hits,
             "compile_time_s": self.compile_time_s,
+            "kernel_compile_time_s": self.kernel_compile_time_s,
             "blocks_executed": self.blocks_executed,
             "rows_executed": self.rows_executed,
             "looped_evaluations": self.looped_evaluations,
@@ -232,6 +237,11 @@ class KernelProvider(Protocol):
     #: whether :meth:`_apply_mixer_block_coalesced` is implemented (gates the
     #: CoalesceExchanges rewrite; only the distributed Alltoall family)
     supports_coalesced_exchange: bool
+    #: whether the provider's fused kernels execute a whole layer in one
+    #: cache-blocked pass over the block (the ``jit`` tier) — consumed by
+    #: the rewrite cost model, which then prices mixer sweeps at ~2 streamed
+    #: passes instead of one per qubit
+    supports_single_pass: bool
 
     def _batch_rows(self, remaining: int, memory_budget: float | None) -> int:
         """Rows of the next sub-batch (re-derived as device results accumulate)."""

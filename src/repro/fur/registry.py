@@ -126,6 +126,11 @@ class BackendSpec:
         wins.
     description:
         One-line human-readable summary (shown by ``describe()``).
+    describe_extra:
+        Optional zero-argument callable returning one extra runtime-state
+        line for ``describe()`` (e.g. the ``jit`` family reports which
+        implementation path is live and its effective thread count).
+        Evaluated lazily, only when ``describe()`` is called.
     """
 
     name: str
@@ -139,6 +144,7 @@ class BackendSpec:
     plan_rewrites: tuple[str, ...] = ()
     priority: int = 0
     description: str = ""
+    describe_extra: Callable[[], str] | None = None
     _classes: dict[str, type] | None = field(default=None, repr=False)
     _load_error: BaseException | None = field(default=None, repr=False)
 
@@ -243,6 +249,7 @@ class BackendRegistry:
                          plan_rewrites: Iterable[str] = (),
                          priority: int = 0,
                          description: str = "",
+                         describe_extra: Callable[[], str] | None = None,
                          overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
         """Decorator form of :meth:`register` for a lazy loader function.
 
@@ -264,6 +271,7 @@ class BackendRegistry:
                     plan_rewrites=tuple(plan_rewrites),
                     priority=priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
+                    describe_extra=describe_extra,
                 ),
                 overwrite=overwrite,
             )
@@ -302,6 +310,12 @@ class BackendRegistry:
                 f"precisions={','.join(spec.precisions)}{rewrite_note} "
                 f"priority={spec.priority}{alias_note}  {spec.description}"
             )
+            if spec.describe_extra is not None:
+                try:
+                    extra = spec.describe_extra()
+                except Exception as exc:  # introspection must never raise
+                    extra = f"(describe_extra failed: {exc!r})"
+                lines.append(f"{'':>10}  {extra}")
         return "\n".join(lines)
 
     # -- resolution ----------------------------------------------------------

@@ -36,7 +36,8 @@ CPU_CLASSES = {
 class TestRegistryResolution:
     def test_canonical_names(self):
         assert set(fur.available_backends()) == {
-            "python", "c", "gpu", "gpumpi", "cusvmpi", "gates", "tensornet",
+            "python", "c", "jit", "gpu", "gpumpi", "cusvmpi", "gates",
+            "tensornet",
         }
 
     def test_alias_resolution(self):
@@ -44,6 +45,7 @@ class TestRegistryResolution:
         assert fur.get_backend("cpu").name == "c"
         assert fur.get_backend("nbcuda").name == "gpu"
         assert fur.get_backend("custatevec").name == "cusvmpi"
+        assert fur.get_backend("numba").name == "jit"
 
     def test_auto_resolves_to_highest_priority(self):
         assert fur.get_backend("auto").name == "c"
