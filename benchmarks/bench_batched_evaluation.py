@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -55,6 +56,11 @@ from repro.problems import labs
 
 #: Required fused-vs-looped advantage on the ``python`` backend (--check).
 REQUIRED_PYTHON_SPEEDUP = 3.0
+
+#: Required sharded(best) advantage over the best single-worker backend at
+#: full size (--check) — only enforced on machines with this many cores.
+REQUIRED_SHARDED_SPEEDUP = 1.5
+SHARDED_GATE_MIN_CORES = 4
 
 #: Pinned single-vs-double relative error envelope for expectations (--check).
 SINGLE_PRECISION_RTOL = 1e-5
@@ -280,6 +286,8 @@ def main(argv: list[str] | None = None) -> int:
 
     distributed_results = []
     baseline_results = []
+    sharded_results = []
+    sharded_gate = None
     if args.engine_report:
         print(f"\nExecution engine: distributed fused batch "
               f"(n_ranks={args.n_ranks})")
@@ -291,6 +299,51 @@ def main(argv: list[str] | None = None) -> int:
             distributed_results.append(rec)
             print(f"{rec['backend']:>8}  {rec['looped_s']:>11.3f}  "
                   f"{rec['fused_s']:>11.3f}  {rec['speedup']:>7.2f}x")
+
+        # Sharded scaling: the in-process sharded backend at 1/2/4/8 shards
+        # on the same workload.  Each row records the slab-exchange traffic
+        # its engine counted, so the exchange cost of relabeling global
+        # qubits is visible next to the throughput it buys.
+        shard_counts = [k for k in ([1, 2] if args.smoke else [1, 2, 4, 8])
+                        if k.bit_length() - 1 <= n // 2]
+        print(f"\nSharded scaling: in-process slab shards "
+              f"(cores={os.cpu_count()})")
+        print(f"{'shards':>8}  {'fused [s]':>11}  {'sched/s':>9}  "
+              f"{'exchanges':>9}  {'exchanged MiB':>13}")
+        for k in shard_counts:
+            rec = bench_backend("sharded", terms, n, batch, p, repeats, rng,
+                                simulator_kwargs={"n_shards": k})
+            rec["n_shards"] = k
+            sharded_results.append(rec)
+            print(f"{k:>8}  {rec['fused_s']:>11.3f}  "
+                  f"{rec['fused_schedules_per_s']:>9.1f}  "
+                  f"{rec['engine']['shard_exchanges']:>9}  "
+                  f"{rec['engine']['exchange_bytes'] / 2**20:>13.1f}")
+        best_sharded = max(sharded_results,
+                           key=lambda r: r["fused_schedules_per_s"])
+        single_rate = max((r["fused_schedules_per_s"] for r in results),
+                          default=0.0)
+        cores = os.cpu_count() or 1
+        sharded_gate = {
+            "required_speedup": REQUIRED_SHARDED_SPEEDUP,
+            "min_cores": SHARDED_GATE_MIN_CORES,
+            "cores": cores,
+            "best_n_shards": best_sharded["n_shards"],
+            "best_sharded_schedules_per_s": best_sharded["fused_schedules_per_s"],
+            "best_single_worker_schedules_per_s": single_rate,
+            "speedup": (best_sharded["fused_schedules_per_s"] / single_rate
+                        if single_rate else None),
+        }
+        if cores < SHARDED_GATE_MIN_CORES:
+            sharded_gate["skipped"] = (
+                f"only {cores} core(s): the worker pool cannot parallelize "
+                f"shards, so the {REQUIRED_SHARDED_SPEEDUP}x gate needs "
+                f">= {SHARDED_GATE_MIN_CORES} cores")
+        print(f"sharded(best, k={best_sharded['n_shards']}): "
+              f"{best_sharded['fused_schedules_per_s']:.1f} sched/s vs best "
+              f"single-worker {single_rate:.1f}"
+              + (f"  [gate skipped: {sharded_gate['skipped']}]"
+                 if "skipped" in sharded_gate else ""))
 
         # The gate-by-gate state-vector baseline rides the same engine now;
         # reduced size because it walks every gate of every schedule row.
@@ -335,12 +388,18 @@ def main(argv: list[str] | None = None) -> int:
             "workload": {"problem": "labs", "n": n, "batch": batch, "p": p,
                          "repeats": repeats, "smoke": bool(args.smoke)},
             # Stable machine-diffable perf trajectory: backend name ->
-            # fused schedules/s, one flat block across PRs.
-            "summary": {r["backend"]: r["fused_schedules_per_s"]
-                        for r in all_recs},
+            # fused schedules/s, one flat block across PRs.  The sharded
+            # family contributes one row: its best shard count's rate.
+            "summary": {
+                **{r["backend"]: r["fused_schedules_per_s"] for r in all_recs},
+                "sharded": max(r["fused_schedules_per_s"]
+                               for r in sharded_results),
+            },
             "backends": results,
             "distributed": distributed_results,
             "baselines": baseline_results,
+            "sharded": sharded_results,
+            "sharded_gate": sharded_gate,
             # Optimized-vs-unoptimized report: what the plan-rewrite passes
             # buy on the fused path, per backend.
             "rewrite": [
@@ -400,6 +459,21 @@ def main(argv: list[str] | None = None) -> int:
                   f"{missing}", file=sys.stderr)
             return 1
         print("OK: all optimizer passes ran on the python and c backends")
+    if args.check and sharded_gate is not None and not args.smoke:
+        # The sharded backend's acceptance bar: its best shard count must
+        # beat the best single-worker backend by the required factor — but
+        # only where the worker pool can actually parallelize (the gate is
+        # recorded as skipped, with the reason, on small runners).
+        if "skipped" in sharded_gate:
+            print(f"SKIP: sharded speedup gate — {sharded_gate['skipped']}")
+        elif (sharded_gate["speedup"] or 0.0) < REQUIRED_SHARDED_SPEEDUP:
+            print(f"FAIL: sharded(best) {sharded_gate['speedup']:.2f}x "
+                  f"< required {REQUIRED_SHARDED_SPEEDUP}x over the best "
+                  "single-worker backend", file=sys.stderr)
+            return 1
+        else:
+            print(f"OK: sharded(best) beats the best single-worker backend "
+                  f"by >= {REQUIRED_SHARDED_SPEEDUP}x")
     if args.check and distributed_results and not args.smoke:
         slow = [r for r in distributed_results if r["speedup"] <= 1.0]
         if slow:

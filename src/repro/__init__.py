@@ -53,7 +53,7 @@ from . import fur, problems, serve
 from .fur.registry import simulator
 from .problems import labs, maxcut, portfolio, sk
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "fur",

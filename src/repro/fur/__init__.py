@@ -239,12 +239,27 @@ def _jit_describe_extra() -> str:
             f"(REPRO_NUM_THREADS/REPRO_JIT_PATH honored)")
 
 
+def _jit_dynamic_priority() -> int:
+    """``auto`` rank of the jit tier: above ``c`` only when compiled.
+
+    ``active_path()`` is a cheap cached probe of the numba → compiled-C →
+    numpy fallback ladder.  With a compiled path live the fused single-pass
+    kernels beat every other CPU family, so jit outranks ``c`` (100); on the
+    numpy delegation rung it keeps its static rank below ``c`` — numpy
+    delegation is just the python kernels with extra indirection.
+    """
+    from .jit import kernels
+
+    return 150 if kernels.active_path() != "numpy" else 60
+
+
 @register_backend("jit", aliases=("numba",), mixers=("x", "xyring", "xycomplete"),
                   device="cpu", distributed=False,
                   precisions=("double", "single"),
                   plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
                                  "fuse-mixer-expectation", "reorder-commuting"),
                   priority=60,
+                  dynamic_priority=_jit_dynamic_priority,
                   description="single-pass cache-blocked fused kernels "
                               "(numba; compiled-C/numpy fallback ladder)",
                   describe_extra=_jit_describe_extra)
@@ -259,6 +274,37 @@ def _load_jit_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
         "x": QAOAFURXSimulatorJIT,
         "xyring": QAOAFURXYRingSimulatorJIT,
         "xycomplete": QAOAFURXYCompleteSimulatorJIT,
+    }
+
+
+def _sharded_describe_extra() -> str:
+    """Runtime-state line for ``describe()``: shard/worker/inner resolution."""
+    from .sharded import shard_report
+
+    return shard_report()
+
+
+@register_backend("sharded", aliases=("multidevice",),
+                  mixers=("x", "xyring", "xycomplete"),
+                  device="cpu", distributed=False,
+                  precisions=("double", "single"),
+                  plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
+                                 "coalesce-exchanges", "reorder-commuting"),
+                  priority=40,
+                  description="in-process sharded backend: global/local qubit "
+                              "slabs, worker pool, coalesced slab swaps",
+                  describe_extra=_sharded_describe_extra)
+def _load_sharded_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
+    from .sharded import (
+        QAOAFURXSimulatorSharded,
+        QAOAFURXYCompleteSimulatorSharded,
+        QAOAFURXYRingSimulatorSharded,
+    )
+
+    return {
+        "x": QAOAFURXSimulatorSharded,
+        "xyring": QAOAFURXYRingSimulatorSharded,
+        "xycomplete": QAOAFURXYCompleteSimulatorSharded,
     }
 
 

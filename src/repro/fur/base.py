@@ -249,16 +249,16 @@ class QAOAFastSimulatorBase(abc.ABC):
             raise ValueError(f"n_qubits must be positive, got {n_qubits}")
         self._precision = resolve_precision(precision)
         self._optimize = resolve_optimize(optimize)
-        state_bytes = (1 << n_qubits) * self._precision.complex_itemsize
+        if (terms is None) == (costs is None):
+            raise ValueError("provide exactly one of `terms` or `costs`")
+        self._n_qubits = int(n_qubits)
+        self._n_states = 1 << self._n_qubits
+        state_bytes = self._guarded_state_bytes()
         if state_bytes > MAX_STATE_BYTES:
             raise ValueError(
                 f"n_qubits={n_qubits} would require {state_bytes / 2**30:.0f} GiB "
                 f"for the {self._precision.name}-precision state vector; refusing"
             )
-        if (terms is None) == (costs is None):
-            raise ValueError("provide exactly one of `terms` or `costs`")
-        self._n_qubits = int(n_qubits)
-        self._n_states = 1 << self._n_qubits
         #: resolved float64 default diagonal, cached so deep circuits and
         #: batched evaluation never decompress/validate per layer or element
         self._costs_cache: np.ndarray | None = None
@@ -284,6 +284,20 @@ class QAOAFastSimulatorBase(abc.ABC):
         self._post_init()
 
     # -- construction hooks --------------------------------------------------
+    def _guarded_state_bytes(self) -> int:
+        """Bytes the byte guard compares against :data:`MAX_STATE_BYTES`.
+
+        The default accounts one monolithic state vector — the resident
+        footprint of every single-address-space backend.  Backends that hold
+        the state in smaller pieces (the in-process sharded family) override
+        this with their largest per-piece footprint (slab plus exchange
+        staging), which is exactly what raises the single-array ceiling.
+        The comparison happens in ``__init__`` against the *module-global*
+        ``MAX_STATE_BYTES`` read at call time, so tests can shrink the guard
+        by monkeypatching the module attribute.
+        """
+        return self._n_states * self._precision.complex_itemsize
+
     def _precompute_diagonal(self, terms: list[Term]) -> np.ndarray:
         """Precompute the cost diagonal on the host (backends may override).
 

@@ -45,7 +45,19 @@ from .rewrite import (
     RewritePass,
 )
 
-__all__ = ["PlanCostModel", "order_structural_passes"]
+__all__ = ["PlanCostModel", "order_structural_passes",
+           "MESSAGE_OVERHEAD_BYTES", "EXCHANGE_ROWS_ESTIMATE"]
+
+#: Fixed per-message cost of a slab exchange, expressed in equivalent bytes
+#: of memory traffic (dispatch, buffer churn, synchronization).  This is what
+#: makes a coalesced exchange (messages independent of the batch size) price
+#: cheaper than the per-row path at equal byte volume.
+MESSAGE_OVERHEAD_BYTES: int = 1 << 12
+
+#: Modelled batch rows for the *non*-coalesced exchange path (its message
+#: count scales with the batch, which is unknown at plan-compile time; this
+#: mirrors the benchmark harness's full-size batch).
+EXCHANGE_ROWS_ESTIMATE: int = 32
 
 
 class PlanCostModel:
@@ -54,19 +66,52 @@ class PlanCostModel:
     ``single_pass_mixer`` models the ``jit`` kernel tier: its fused kernels
     apply every butterfly of a layer per cache-sized tile, so a mixer sweep
     streams the state ~2× (read + write) instead of once per qubit.
+
+    ``n_shards``/``n_workers`` model the in-process sharded backend: compute
+    traffic divides across the parallel workers (ceil division keeps the
+    comparison in deterministic integers), while each mixer application
+    additionally pays the slab-exchange traffic of relabeling the global
+    qubits — two transpositions moving ``(K−1)/K`` of the state each, plus a
+    fixed :data:`MESSAGE_OVERHEAD_BYTES` per message.  With
+    ``coalesced_exchange`` the message count is the batch-independent
+    ``K(K−1)`` per transposition; without it the per-row path is modelled at
+    :data:`EXCHANGE_ROWS_ESTIMATE` rows.
     """
 
     def __init__(self, n_qubits: int, model: PerformanceModel | None = None,
-                 *, single_pass_mixer: bool = False) -> None:
+                 *, single_pass_mixer: bool = False, n_shards: int = 1,
+                 n_workers: int = 1, coalesced_exchange: bool = False) -> None:
         self.model = model if model is not None else PerformanceModel()
         self.n_qubits = n_qubits
         self.states = self.model.local_states(n_qubits, 1)
         self.single_pass_mixer = bool(single_pass_mixer)
+        self.n_shards = max(1, int(n_shards))
+        self.n_workers = max(1, int(n_workers))
+        self.coalesced_exchange = bool(coalesced_exchange)
+
+    def exchange_bytes(self, n_trotters: int = 1) -> int:
+        """Slab-exchange cost of one mixer application across the shards."""
+        k = self.n_shards
+        if k <= 1:
+            return 0
+        sb = self.model.state_bytes
+        # two transpositions (relabel in, relabel out), each swapping the
+        # off-diagonal (K−1)/K fraction of the state between shard pairs
+        slab = 2 * (self.states - self.states // k) * sb
+        messages = 2 * k * (k - 1)
+        if not self.coalesced_exchange:
+            messages *= EXCHANGE_ROWS_ESTIMATE
+        return (slab + messages * MESSAGE_OVERHEAD_BYTES) * max(1, n_trotters)
 
     # -- per-op prices ---------------------------------------------------------
     def stage_bytes(self) -> int:
         """Writing the staged ``|+>`` block (common to every plan)."""
         return self.states * self.model.state_bytes
+
+    def _split(self, compute_bytes: int) -> int:
+        """Ceil-divide compute traffic across the parallel shard workers."""
+        w = self.n_workers
+        return -(-int(compute_bytes) // w)
 
     def op_bytes(self, op: PlanOp) -> int:
         sb = self.model.state_bytes
@@ -80,25 +125,29 @@ class PlanCostModel:
         mixer = mixer_sweeps * 2 * sb * states
         expectation = states * (sb + db)
         if isinstance(op, (PhaseOp, MergedPhaseOp)):
-            return phase
+            return self._split(phase)
         if isinstance(op, InitialPhaseOp):
             # the staging write (already priced) doubles as the phase write;
             # only the diagonal read is extra
-            return states * db
+            return self._split(states * db)
         if isinstance(op, (MixerOp, MergedMixerOp)):
-            return mixer * op.n_trotters
+            return (self._split(mixer * op.n_trotters)
+                    + self.exchange_bytes(op.n_trotters))
         if isinstance(op, FusedPhaseMixerOp):
             # phase rides the first mixer pass: the read-modify-write
             # disappears, the diagonal read remains
-            return mixer * op.n_trotters + states * db
+            return (self._split(mixer * op.n_trotters + states * db)
+                    + self.exchange_bytes(op.n_trotters))
         if isinstance(op, FusedMixerExpectationOp):
             extra_diag = states * db if op.with_phase else 0
             # expectation reads the ping-pong buffer directly: the mixer's
             # final copy-back (one state write) is saved
-            return mixer * op.n_trotters + extra_diag + expectation - states * sb
+            return (self._split(mixer * op.n_trotters + extra_diag
+                                + expectation - states * sb)
+                    + self.exchange_bytes(op.n_trotters))
         if isinstance(op, ExpectationOp):
-            return expectation
-        return phase  # unknown future op: assume one streaming sweep
+            return self._split(expectation)
+        return self._split(phase)  # unknown future op: assume one streaming sweep
 
     def plan_bytes(self, ops: tuple[PlanOp, ...]) -> int:
         """Total traffic of staging plus every op in the stream."""
@@ -125,7 +174,11 @@ def order_structural_passes(
     model = PlanCostModel(
         n_qubits,
         single_pass_mixer=bool(getattr(simulator, "supports_single_pass",
-                                       False)))
+                                       False)),
+        n_shards=int(getattr(simulator, "n_shards", 1)),
+        n_workers=int(getattr(simulator, "n_shard_workers", 1)),
+        coalesced_exchange=bool(getattr(simulator,
+                                        "supports_coalesced_exchange", False)))
     best_order = passes
     best_cost: int | None = None
     for perm in permutations(passes):

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
@@ -176,6 +177,16 @@ class EngineStats:
     #: MergedPhaseOp/MergedMixerOp executions (adjacent sweeps collapsed to
     #: one with summed angles — the ReorderCommuting rewrite)
     merged_ops_executed: int = 0
+    #: slab-exchange messages sent by the in-process sharded backend (one
+    #: pairwise slab swap counts two messages, mirroring the MPI traces)
+    shard_exchanges: int = 0
+    #: bytes moved between shards by those exchanges
+    exchange_bytes: int = 0
+    #: per-shard busy seconds inside parallel shard dispatches
+    shard_busy_s: dict[int, float] = field(default_factory=dict)
+    #: wall-clock seconds spent inside parallel shard dispatches (the
+    #: denominator of the per-shard busy fractions)
+    shard_wall_s: float = 0.0
     #: per-pass rewrite totals: pass name -> {"runs", "rewrites",
     #: "ops_before", "ops_after"} accumulated over every pipeline run
     rewrites: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -207,9 +218,24 @@ class EngineStats:
             "staged_phase_ops": self.staged_phase_ops,
             "mixer_expectation_fused_ops": self.mixer_expectation_fused_ops,
             "merged_ops_executed": self.merged_ops_executed,
+            "shard_exchanges": self.shard_exchanges,
+            "exchange_bytes": self.exchange_bytes,
+            "shard_busy_fraction": self.shard_busy_fractions(),
             "rewrites": {name: dict(entry)
                          for name, entry in self.rewrites.items()},
         }
+
+    def shard_busy_fractions(self) -> dict[str, float]:
+        """Per-shard busy fraction of the parallel-dispatch wall clock.
+
+        Empty for non-sharded backends (no shard dispatch was ever recorded);
+        a fraction near 1.0 for every shard means the worker pool was
+        load-balanced, a lone hot shard means a skewed slab assignment.
+        """
+        if self.shard_wall_s <= 0.0:
+            return {}
+        return {str(s): busy / self.shard_wall_s
+                for s, busy in sorted(self.shard_busy_s.items())}
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +364,22 @@ class ExecutionEngine:
         """Drop every cached plan (the next evaluation recompiles)."""
         with self._lock:
             self._plans.clear()
+
+    # -- shard telemetry (recorded by sharded providers) ---------------------
+    def record_shard_exchange(self, messages: int, nbytes: int) -> None:
+        """Account one slab exchange: message count and bytes moved."""
+        with self._lock:
+            self.stats.shard_exchanges += int(messages)
+            self.stats.exchange_bytes += int(nbytes)
+
+    def record_shard_dispatch(self, busy_s: Sequence[float],
+                              wall_s: float) -> None:
+        """Account one parallel shard dispatch: per-shard busy + wall time."""
+        with self._lock:
+            self.stats.shard_wall_s += float(wall_s)
+            busy = self.stats.shard_busy_s
+            for shard, seconds in enumerate(busy_s):
+                busy[shard] = busy.get(shard, 0.0) + float(seconds)
 
     def plan(self, p: int, *, n_trotters: int = 1,
              memory_budget: float | None = None,

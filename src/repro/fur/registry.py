@@ -124,6 +124,14 @@ class BackendSpec:
     priority:
         Resolution order for ``backend="auto"`` — highest available priority
         wins.
+    dynamic_priority:
+        Optional zero-argument callable returning the priority ``auto``
+        resolution should use *right now* (e.g. the ``jit`` family outranks
+        ``c`` only while its compiled path is live and keeps its static rank
+        on the numpy delegation rung).  Must be cheap — it runs on every
+        ``auto`` resolution — and exceptions fall back to the static
+        ``priority``.  ``names()``/``describe()`` keep the static order so
+        introspection never triggers runtime probes.
     description:
         One-line human-readable summary (shown by ``describe()``).
     describe_extra:
@@ -143,6 +151,7 @@ class BackendSpec:
     capabilities: str = "full"
     plan_rewrites: tuple[str, ...] = ()
     priority: int = 0
+    dynamic_priority: Callable[[], int] | None = None
     description: str = ""
     describe_extra: Callable[[], str] | None = None
     _classes: dict[str, type] | None = field(default=None, repr=False)
@@ -164,6 +173,20 @@ class BackendSpec:
     def supports_rewrite(self, name: str) -> bool:
         """Whether the family advertises kernels for one plan rewrite."""
         return name in self.plan_rewrites
+
+    def effective_priority(self) -> int:
+        """The priority ``auto`` resolution ranks this family at right now.
+
+        Evaluates ``dynamic_priority`` when present; a probe that raises
+        falls back to the static :attr:`priority` (resolution must never
+        fail because a runtime probe did).
+        """
+        if self.dynamic_priority is not None:
+            try:
+                return int(self.dynamic_priority())
+            except Exception:
+                return self.priority
+        return self.priority
 
     @property
     def available(self) -> bool:
@@ -248,6 +271,7 @@ class BackendRegistry:
                          capabilities: str = "full",
                          plan_rewrites: Iterable[str] = (),
                          priority: int = 0,
+                         dynamic_priority: Callable[[], int] | None = None,
                          description: str = "",
                          describe_extra: Callable[[], str] | None = None,
                          overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
@@ -270,6 +294,7 @@ class BackendRegistry:
                     capabilities=resolve_capability_tier(capabilities),
                     plan_rewrites=tuple(plan_rewrites),
                     priority=priority,
+                    dynamic_priority=dynamic_priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
                     describe_extra=describe_extra,
                 ),
@@ -368,7 +393,10 @@ class BackendRegistry:
                     f"{', '.join(known)}"
                 )
             candidates = [
-                s for s in map(self._specs.__getitem__, self.names())
+                s for s in sorted(
+                    map(self._specs.__getitem__, self.names()),
+                    key=lambda s: -s.effective_priority(),
+                )
                 if not s.distributed
                 and (s.supports_capability(capability) if capability is not None
                      else s.capabilities == "full")

@@ -7,7 +7,12 @@ queue:
 * **servability** — a request whose state vector cannot exist under the
   process-wide byte guard (:data:`repro.fur.base.MAX_STATE_BYTES`, the same
   guard the simulator constructors enforce) is rejected with
-  :class:`AdmissionError` without constructing anything;
+  :class:`AdmissionError` without constructing anything.  The accounting is
+  per-shard when the route targets the in-process sharded backend: what must
+  fit is the largest shard slab plus its exchange staging buffer
+  (:func:`repro.fur.sharded.layout.sharded_state_bytes`), not the monolithic
+  ``2^n`` array — so sharded routes admit problems the single-array guard
+  would reject;
 * **queue bound** — each service caps the number of in-flight requests
   (``max_pending``); past the cap the configured overload policy applies:
   ``"shed"`` raises :class:`ServiceOverloadedError` immediately (load
@@ -103,8 +108,16 @@ class AdmissionController:
         self.memory_budget = memory_budget
         self.max_state_bytes = int(max_state_bytes)
 
-    def check(self, n_qubits: int, precision: str | PrecisionSpec) -> None:
-        """Raise :class:`AdmissionError` if the request can never be served."""
+    def check(self, n_qubits: int, precision: str | PrecisionSpec, *,
+              n_shards: int = 1) -> None:
+        """Raise :class:`AdmissionError` if the request can never be served.
+
+        ``n_shards`` is the shard count of the route's backend (1 for every
+        monolithic-state family).  With ``n_shards > 1`` the guard compares
+        the per-shard resident footprint — the largest slab plus exchange
+        staging — against ``max_state_bytes``, mirroring the sharded
+        simulator constructor's own guard.
+        """
         if n_qubits <= 0:
             raise AdmissionError(f"n_qubits must be positive, got {n_qubits}")
         if self.max_qubits is not None and n_qubits > self.max_qubits:
@@ -113,11 +126,20 @@ class AdmissionController:
                 f"{self.max_qubits}"
             )
         spec = resolve_precision(precision)
-        state_bytes = (1 << n_qubits) * spec.complex_itemsize
+        if n_shards > 1:
+            from ..fur.sharded.layout import sharded_state_bytes
+
+            state_bytes = sharded_state_bytes(n_qubits, spec.complex_itemsize,
+                                              n_shards)
+            what = (f"the largest of {n_shards} {spec.name}-precision shard "
+                    "slabs (plus exchange staging)")
+        else:
+            state_bytes = (1 << n_qubits) * spec.complex_itemsize
+            what = f"the {spec.name}-precision state vector"
         if state_bytes > self.max_state_bytes:
             raise AdmissionError(
                 f"n_qubits={n_qubits} would require {state_bytes / 2**30:.0f} "
-                f"GiB for the {spec.name}-precision state vector "
+                f"GiB for {what} "
                 f"(guard: {self.max_state_bytes / 2**30:.0f} GiB); rejecting"
             )
 

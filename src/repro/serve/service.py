@@ -119,6 +119,11 @@ class QAOAService:
         Optional qubit ceiling, tighter than the byte-based state guard.
     max_workers:
         Thread-pool size for engine execution (``None``: executor default).
+    n_shards:
+        Shard count forwarded to routes on the in-process ``sharded``
+        backend (``None``: that backend's own auto/env resolution).  Also
+        drives the per-shard admission accounting, which raises the
+        effective qubit ceiling above the single-array byte guard.
     """
 
     def __init__(self, *, backend: str = "auto", mixer: str = "x",
@@ -130,7 +135,8 @@ class QAOAService:
                  max_live_simulators: int = DEFAULT_MAX_LIVE_SIMULATORS,
                  memory_budget: float | None = None,
                  max_qubits: int | None = None,
-                 max_workers: int | None = None) -> None:
+                 max_workers: int | None = None,
+                 n_shards: int | None = None) -> None:
         if window_ms < 0:
             raise ValueError("window_ms must be non-negative")
         if max_batch < 1:
@@ -144,6 +150,7 @@ class QAOAService:
         self._window_s = float(window_ms) / 1e3
         self._max_batch = int(max_batch)
         self._memory_budget = memory_budget
+        self._n_shards = None if n_shards is None else int(n_shards)
         self._admission = AdmissionController(
             max_pending=max_pending, overload=overload, max_qubits=max_qubits,
             memory_budget=memory_budget)
@@ -181,6 +188,7 @@ class QAOAService:
             "max_live_simulators": self._max_live,
             "memory_budget": self._memory_budget,
             "max_qubits": self._admission.max_qubits,
+            "n_shards": self._n_shards,
         }
 
     @property
@@ -223,6 +231,25 @@ class QAOAService:
         }
 
     # -- routing -------------------------------------------------------------
+    def _route_shards(self, backend_name: str, n_qubits: int) -> int:
+        """Shard count admission should account for on one route.
+
+        1 for every monolithic-state backend; for the ``sharded`` backend,
+        the service's ``n_shards`` knob or (when unset) the backend's own
+        auto/env resolution for this problem size.  A knob the backend would
+        reject (not a power of two, too many global qubits for ``n_qubits``)
+        surfaces as an :class:`AdmissionError` — construction would fail
+        identically later, so reject up front.
+        """
+        if backend_name != "sharded" or n_qubits <= 0:
+            return 1
+        from ..fur.sharded.layout import resolve_n_shards
+
+        try:
+            return resolve_n_shards(n_qubits, self._n_shards)
+        except ValueError as exc:
+            raise AdmissionError(str(exc)) from None
+
     def _route(self, n_qubits: int,
                terms: Iterable[tuple[float, Iterable[int]]],
                gammas: Sequence[float], betas: Sequence[float],
@@ -240,17 +267,20 @@ class QAOAService:
                           else resolve_precision(precision).name)
         optimize_name = (self._default_optimize if optimize is None
                          else resolve_optimize(optimize))
-        self._admission.check(n_qubits, precision_name)
         # Resolve "auto" (and aliases) to the canonical registry name so
         # equivalent spellings share routing keys — and hence batches.  The
         # service only ever issues expectation requests, so an
         # ``expectation-only`` backend (tensornet) is routable; a backend
         # that cannot serve expectations is rejected here with a typed
         # UnsupportedCapabilityError instead of an AttributeError deep in
-        # the batch walk.
+        # the batch walk.  Resolution happens *before* the byte-guard check:
+        # the admission accounting is per-shard on sharded routes, so the
+        # guard needs to know which backend will actually hold the state.
         spec = registry.resolve(backend or self._default_backend, mixer=mixer,
                                 precision=precision_name,
                                 capability="expectation")
+        self._admission.check(n_qubits, precision_name,
+                              n_shards=self._route_shards(spec.name, n_qubits))
         normalized = validate_terms(terms, n_qubits)
         fingerprint = problem_fingerprint(normalized, n_qubits)
         self._problems.setdefault(fingerprint, normalized)
@@ -346,9 +376,17 @@ class QAOAService:
                   betas: np.ndarray) -> np.ndarray:
         """One fused engine batch for a flush (runs on the thread pool)."""
         sim = self._simulator_for(key)
-        return sim.get_expectation_batch(gammas, betas,
-                                         memory_budget=self._memory_budget,
-                                         optimize=key.optimize)
+        engine_stats = sim.engine.stats
+        before = (engine_stats.shard_exchanges, engine_stats.exchange_bytes)
+        result = sim.get_expectation_batch(gammas, betas,
+                                           memory_budget=self._memory_budget,
+                                           optimize=key.optimize)
+        # Shard telemetry: fold this flush's slab-exchange traffic into the
+        # service counters (zero on monolithic-state backends).
+        self._stats.record_shard_traffic(
+            engine_stats.shard_exchanges - before[0],
+            engine_stats.exchange_bytes - before[1])
+        return result
 
     def _simulator_for(self, key: RouteKey) -> QAOAFastSimulatorBase:
         """The LRU-cached simulator for a routing key, constructing on miss.
@@ -364,10 +402,13 @@ class QAOAService:
                 self._simulators.move_to_end(key)
                 return sim
         terms = self._problems[key.fingerprint]
+        extra: dict[str, Any] = {}
+        if key.backend == "sharded" and self._n_shards is not None:
+            extra["n_shards"] = self._n_shards
         sim = construct_simulator(key.n_qubits, terms=terms,
                                   backend=key.backend, mixer=key.mixer,
                                   precision=key.precision,
-                                  optimize=key.optimize)
+                                  optimize=key.optimize, **extra)
         with self._sim_lock:
             existing = self._simulators.get(key)
             if existing is not None:  # racing flush won; keep its simulator

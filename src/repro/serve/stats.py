@@ -134,6 +134,11 @@ class ServiceStats:
         #: simulators constructed / evicted by the per-key LRU lifecycle
         self.simulators_constructed = 0
         self.simulators_evicted = 0
+        #: slab-exchange messages / bytes moved by sharded-backend routes
+        #: (zero on monolithic-state backends; harvested per flush from the
+        #: executing simulator's engine stats)
+        self.shard_exchanges = 0
+        self.exchange_bytes = 0
 
     # -- recording hooks (service / batcher internals) -----------------------
     def record_admitted(self) -> None:
@@ -181,6 +186,13 @@ class ServiceStats:
         with self._lock:
             self.simulators_evicted += 1
 
+    def record_shard_traffic(self, exchanges: int, nbytes: int) -> None:
+        """Account one flush's slab-exchange traffic (sharded routes)."""
+        if exchanges or nbytes:
+            with self._lock:
+                self.shard_exchanges += int(exchanges)
+                self.exchange_bytes += int(nbytes)
+
     # -- snapshots -----------------------------------------------------------
     def batch_size_histogram(self) -> dict[int, int]:
         """``{batch size: count}`` of every flushed micro-batch, sorted."""
@@ -203,6 +215,8 @@ class ServiceStats:
                                          in sorted(self.batch_sizes.items())},
                 "simulators_constructed": self.simulators_constructed,
                 "simulators_evicted": self.simulators_evicted,
+                "shard_exchanges": self.shard_exchanges,
+                "exchange_bytes": self.exchange_bytes,
             }
         counters["queue_wait"] = self.queue_wait.as_dict()
         counters["execution"] = self.execution.as_dict()

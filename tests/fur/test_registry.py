@@ -23,6 +23,23 @@ from repro.testing import random_terms
 
 TERMS = [(0.5, (0, 1)), (-0.25, (1, 2)), (1.0, (0,))]
 
+
+@pytest.fixture
+def numpy_rung(monkeypatch):
+    """Pin the jit tier to its numpy delegation rung for one test.
+
+    The jit family's *dynamic* priority outranks ``c`` whenever a compiled
+    path (numba or the runtime-built C library) is live, so tests asserting
+    the static ``auto`` order pin the ladder to ``numpy`` via
+    ``REPRO_JIT_PATH`` and reset the cached resolution around the test.
+    """
+    from repro.fur.jit import kernels
+
+    monkeypatch.setenv("REPRO_JIT_PATH", "numpy")
+    kernels._reset_path_cache()
+    yield
+    kernels._reset_path_cache()
+
 CPU_CLASSES = {
     ("c", "x"): QAOAFURXSimulatorC,
     ("c", "xyring"): QAOAFURXYRingSimulatorC,
@@ -36,8 +53,8 @@ CPU_CLASSES = {
 class TestRegistryResolution:
     def test_canonical_names(self):
         assert set(fur.available_backends()) == {
-            "python", "c", "jit", "gpu", "gpumpi", "cusvmpi", "gates",
-            "tensornet",
+            "python", "c", "jit", "sharded", "gpu", "gpumpi", "cusvmpi",
+            "gates", "tensornet",
         }
 
     def test_alias_resolution(self):
@@ -46,8 +63,9 @@ class TestRegistryResolution:
         assert fur.get_backend("nbcuda").name == "gpu"
         assert fur.get_backend("custatevec").name == "cusvmpi"
         assert fur.get_backend("numba").name == "jit"
+        assert fur.get_backend("multidevice").name == "sharded"
 
-    def test_auto_resolves_to_highest_priority(self):
+    def test_auto_resolves_to_highest_priority(self, numpy_rung):
         assert fur.get_backend("auto").name == "c"
         assert fur.get_simulator_class("auto") is QAOAFURXSimulatorC
 
@@ -102,7 +120,7 @@ class TestCapabilityTiers:
         assert fur.get_backend("gates").capabilities == "full"
         assert fur.get_backend("c").capabilities == "full"
 
-    def test_auto_never_picks_a_non_full_tier(self):
+    def test_auto_never_picks_a_non_full_tier(self, numpy_rung):
         # tensornet is registered and importable but expectation-only, so a
         # capability-less auto request must not resolve to it.
         assert fur.get_backend("auto").capabilities == "full"
@@ -175,7 +193,7 @@ class TestCapabilityTiers:
 
 
 class TestAutoFallback:
-    def test_auto_skips_backend_whose_import_fails(self):
+    def test_auto_skips_backend_whose_import_fails(self, numpy_rung):
         def broken_loader():
             raise ImportError("optional dependency missing")
 
@@ -218,7 +236,7 @@ class TestAutoFallback:
             registry.unregister("tmpbk2")
         assert "tmpbk2" not in fur.SIMULATORS
 
-    def test_register_backend_decorator_roundtrip(self):
+    def test_register_backend_decorator_roundtrip(self, numpy_rung):
         @fur.register_backend("toy", aliases=("plaything",), mixers=("x",),
                               priority=-5, description="test-only")
         def _load_toy():
@@ -231,6 +249,57 @@ class TestAutoFallback:
             assert fur.get_backend("auto").name == "c"
         finally:
             registry.unregister("toy")
+
+
+class TestDynamicPriority:
+    """Satellite: jit outranks c in ``auto`` iff its compiled path is live."""
+
+    def test_effective_priority_defaults_to_static(self):
+        spec = BackendSpec(name="static", loader=dict, priority=17)
+        assert spec.effective_priority() == 17
+
+    def test_effective_priority_uses_callable(self):
+        spec = BackendSpec(name="dyn", loader=dict, priority=17,
+                           dynamic_priority=lambda: 170)
+        assert spec.effective_priority() == 170
+
+    def test_effective_priority_falls_back_on_probe_failure(self):
+        def exploding() -> int:
+            raise OSError("probe failed")
+
+        spec = BackendSpec(name="dyn", loader=dict, priority=17,
+                           dynamic_priority=exploding)
+        assert spec.effective_priority() == 17
+
+    def test_auto_orders_by_dynamic_priority(self, numpy_rung):
+        # Static priority below everything, dynamic priority above: auto
+        # must pick it, while names() keeps the static (probe-free) order.
+        registry.register(BackendSpec(
+            name="hotshot", loader=lambda: {"x": QAOAFURXSimulator},
+            mixers=("x",), priority=-50, dynamic_priority=lambda: 10_000))
+        try:
+            assert fur.get_backend("auto").name == "hotshot"
+            assert registry.names()[-1] == "hotshot"
+        finally:
+            registry.unregister("hotshot")
+
+    def test_jit_outranks_c_when_compiled_path_live(self, monkeypatch):
+        from repro.fur.jit import kernels
+
+        monkeypatch.setenv("REPRO_JIT_PATH", "cc")
+        kernels._reset_path_cache()
+        try:
+            if kernels.active_path() == "numpy":
+                pytest.skip("no compiled jit path on this machine")
+            assert fur.get_backend("auto").name == "jit"
+        finally:
+            kernels._reset_path_cache()
+
+    def test_numpy_rung_restores_static_order(self, numpy_rung):
+        from repro.fur.jit import kernels
+
+        assert kernels.active_path() == "numpy"
+        assert fur.get_backend("auto").name == "c"
 
 
 class TestSimulatorFacade:
