@@ -65,6 +65,11 @@ SHARDED_GATE_MIN_CORES = 4
 #: Pinned single-vs-double relative error envelope for expectations (--check).
 SINGLE_PRECISION_RTOL = 1e-5
 
+#: Cut-vs-uncut expectation agreement required of the fragment pipeline
+#: (--check).  The wire-cut recombination is algebraically exact at p=1, so
+#: only floating-point roundoff separates the two paths.
+CUT_PARITY_ATOL = 1e-10
+
 
 def _best_of(callable_, repeats: int) -> float:
     best = np.inf
@@ -205,6 +210,110 @@ def bench_precision(backend: str, terms, n: int, batch: int, p: int,
     return record
 
 
+def _bridge_terms(n: int) -> list[tuple[float, tuple[int, int]]]:
+    """Two weighted rings joined by a single bridge edge.
+
+    The natural half/half partition leaves exactly one crossing term, so
+    the cut pipeline runs with ``k = 1`` (4 fragment-B variants) — the
+    cheapest non-trivial cut, which keeps the beyond-memory leg about the
+    admission ceiling rather than the variant count.
+    """
+    half = n // 2
+    terms = [(0.5, (i, (i + 1) % half)) for i in range(half)]
+    terms += [(0.5, (half + i, half + (i + 1) % half)) for i in range(half)]
+    terms.append((0.7, (0, half)))
+    return terms
+
+
+def bench_cutting(smoke: bool, repeats: int) -> dict:
+    """Circuit-cutting fragment pipeline: fused vs looped fragment
+    evaluation, parity against the uncut expectation, and the
+    beyond-memory admission demonstration."""
+    import repro.fur.base as fur_base
+    from repro.cutting import CutQAOAPipeline
+
+    gammas, betas = [0.31], [0.57]
+
+    # Parity + fragment-evaluation timing at a size the monolithic
+    # simulator still admits, so the uncut expectation is the reference.
+    n = 12 if smoke else 16
+    terms = _bridge_terms(n)
+    sim = repro.simulator(n, terms=terms, backend="python")
+    uncut = float(sim.get_expectation(sim.simulate_qaoa(gammas, betas)))
+
+    modes = {}
+    pipe = None
+    for mode in ("looped", "fused"):
+        pipe = CutQAOAPipeline(n, terms, backend="python", mode=mode,
+                               partition=range(n // 2))
+        value = float(pipe.expectation(gammas, betas))
+        modes[mode] = {
+            "value": value,
+            "abs_err": abs(value - uncut),
+            "eval_s": _best_of(lambda: pipe.expectation(gammas, betas),
+                               repeats),
+        }
+
+    # Beyond-memory admission: evaluate an n whose monolithic state the
+    # admission guard rejects.  The smoke run shrinks the ceiling
+    # in-process (and restores it) so the same reduced-size problem serves
+    # as the demonstration; the full run needs no such trick — a 2^36
+    # single-precision state is 512 GiB, 2x over the default ceiling,
+    # while the fragments stay at 2^19 amplitudes.
+    if smoke:
+        n_adm, precision = n, "double"
+        guard_bytes = 2 ** (n - 1) * 16
+    else:
+        n_adm, precision = 36, "single"
+        guard_bytes = None
+    adm_terms = _bridge_terms(n_adm)
+    saved = fur_base.MAX_STATE_BYTES
+    try:
+        if guard_bytes is not None:
+            fur_base.MAX_STATE_BYTES = guard_bytes
+        try:
+            repro.simulator(n_adm, terms=adm_terms, backend="python",
+                            precision=precision)
+            rejected = False
+        except ValueError:
+            rejected = True
+        adm_pipe = CutQAOAPipeline(n_adm, adm_terms, backend="python",
+                                   precision=precision,
+                                   partition=range(n_adm // 2))
+        t0 = time.perf_counter()
+        adm_value = float(adm_pipe.expectation(gammas, betas))
+        adm_s = time.perf_counter() - t0
+    finally:
+        fur_base.MAX_STATE_BYTES = saved
+
+    state_bytes = 2 ** n_adm * (8 if precision == "single" else 16)
+    return {
+        "workload": {"problem": "bridged-rings", "n": n, "p": 1,
+                     "repeats": repeats, "smoke": smoke},
+        "uncut_value": uncut,
+        "modes": modes,
+        "fused_speedup": modes["looped"]["eval_s"] / modes["fused"]["eval_s"],
+        "stats": pipe.stats.as_dict(),
+        "admission": {
+            "n": n_adm,
+            "precision": precision,
+            "state_bytes": state_bytes,
+            "max_state_bytes": (guard_bytes if guard_bytes is not None
+                                else saved),
+            "synthetic_guard": guard_bytes is not None,
+            "monolithic_rejected": rejected,
+            "cut_qubits": adm_pipe.spec.n_cuts,
+            "fragment_qubits": [len(adm_pipe.spec.fragment_a),
+                                len(adm_pipe.spec.fragment_b)
+                                + adm_pipe.spec.n_cuts],
+            "value": adm_value,
+            "reference_value": uncut if n_adm == n else None,
+            "eval_s": adm_s,
+            "stats": adm_pipe.stats.as_dict(),
+        },
+    }
+
+
 def cache_metrics() -> dict:
     """Snapshot of the process-wide diagonal-cache counters."""
     stats = diagonal_cache.stats
@@ -288,6 +397,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline_results = []
     sharded_results = []
     sharded_gate = None
+    cutting_rec = None
     if args.engine_report:
         print(f"\nExecution engine: distributed fused batch "
               f"(n_ranks={args.n_ranks})")
@@ -360,6 +470,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{gates_rec['backend']:>8}  {gates_rec['looped_s']:>11.3f}  "
               f"{gates_rec['fused_s']:>11.3f}  {gates_rec['speedup']:>7.2f}x")
 
+        # Circuit cutting (ROADMAP item 2): fused vs looped fragment
+        # evaluation, parity with the uncut expectation, and the
+        # beyond-memory admission demonstration.
+        cutting_rec = bench_cutting(bool(args.smoke), repeats)
+        cw = cutting_rec["workload"]
+        print(f"\nCircuit cutting: bridged rings n={cw['n']}, p=1, "
+              f"k={cutting_rec['stats']['cut_qubits']} cut qubit(s)")
+        print(f"{'mode':>8}  {'eval [s]':>11}  {'abs err vs uncut':>17}")
+        for mode, rec in cutting_rec["modes"].items():
+            print(f"{mode:>8}  {rec['eval_s']:>11.3f}  "
+                  f"{rec['abs_err']:>17.2e}")
+        adm = cutting_rec["admission"]
+        print(f"admission: n={adm['n']} {adm['precision']} needs "
+              f"{adm['state_bytes'] / 2**30:.3g} GiB monolithic vs "
+              f"{adm['max_state_bytes'] / 2**30:.3g} GiB ceiling"
+              f"{' (synthetic)' if adm['synthetic_guard'] else ''} -> "
+              f"monolithic {'rejected' if adm['monolithic_rejected'] else 'ADMITTED'}, "
+              f"cut value {adm['value']:+.6f} in {adm['eval_s']:.3f} s "
+              f"(fragments {adm['fragment_qubits']} qubits)")
+
         # Per-pass rows: every optimizer pass that ran for each backend,
         # including the zero-rewrite ones (so a pass silently not firing is
         # visible in the record).
@@ -413,6 +543,10 @@ def main(argv: list[str] | None = None) -> int:
                 for r in results + distributed_results + baseline_results
             ],
             "per_pass": per_pass,
+            # Circuit-cutting fragment pipeline: fused-vs-looped fragment
+            # evaluation, cut-vs-uncut parity, telemetry, and the
+            # beyond-memory admission record.
+            "cutting": cutting_rec,
         }
         Path(args.engine_report).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.engine_report}")
@@ -459,6 +593,41 @@ def main(argv: list[str] | None = None) -> int:
                   f"{missing}", file=sys.stderr)
             return 1
         print("OK: all optimizer passes ran on the python and c backends")
+    if args.check and cutting_rec is not None:
+        # The cutting pipeline's acceptance bars (ROADMAP item 2): the cut
+        # expectation must match the uncut reference on both fragment
+        # evaluation modes, and the pipeline must evaluate an n whose
+        # monolithic state the admission guard rejects.  Both run in smoke
+        # too — the smoke leg shrinks the ceiling in-process instead of
+        # paying for 2^19-amplitude fragments.
+        bad_modes = {mode: rec["abs_err"]
+                     for mode, rec in cutting_rec["modes"].items()
+                     if rec["abs_err"] > CUT_PARITY_ATOL}
+        if bad_modes:
+            print(f"FAIL: cut expectation deviates from uncut by more than "
+                  f"{CUT_PARITY_ATOL:g}: {bad_modes}", file=sys.stderr)
+            return 1
+        print(f"OK: cut expectation matches uncut within {CUT_PARITY_ATOL:g} "
+              "(fused and looped fragment evaluation)")
+        adm = cutting_rec["admission"]
+        if not adm["monolithic_rejected"]:
+            print(f"FAIL: the admission guard accepted the monolithic "
+                  f"n={adm['n']} {adm['precision']} state "
+                  f"({adm['state_bytes'] / 2**30:.0f} GiB) — the "
+                  "beyond-memory demonstration is vacuous", file=sys.stderr)
+            return 1
+        if not np.isfinite(adm["value"]):
+            print(f"FAIL: cut evaluation at n={adm['n']} returned "
+                  f"{adm['value']}", file=sys.stderr)
+            return 1
+        ref = adm["reference_value"]
+        if ref is not None and abs(adm["value"] - ref) > CUT_PARITY_ATOL:
+            print(f"FAIL: beyond-guard cut value {adm['value']} deviates "
+                  f"from the pre-guard reference {ref}", file=sys.stderr)
+            return 1
+        print(f"OK: cut pipeline evaluated n={adm['n']} {adm['precision']} "
+              f"(monolithic {adm['state_bytes'] / 2**30:.3g} GiB state "
+              "rejected by the admission guard)")
     if args.check and sharded_gate is not None and not args.smoke:
         # The sharded backend's acceptance bar: its best shard count must
         # beat the best single-worker backend by the required factor — but

@@ -14,7 +14,7 @@ Run with:  python examples/distributed_simulation.py [n_qubits]
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 import numpy as np
 
@@ -69,5 +69,12 @@ def main(n: int = 12) -> None:
     print("communication dominates the layer time — both observations from Fig. 5.")
 
 
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("n_qubits", nargs="?", type=int, default=12,
+                        help="problem size (default: %(default)s)")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)
+    main(_parse_args().n_qubits)

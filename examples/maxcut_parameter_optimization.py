@@ -11,7 +11,7 @@ Run with:  python examples/maxcut_parameter_optimization.py [n_qubits]
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.gates import QAOAGateBasedSimulator
@@ -66,5 +66,12 @@ def main(n: int = 12) -> None:
               f"({res.n_evaluations} evaluations, {res.wall_time:.2f} s)")
 
 
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("n_qubits", nargs="?", type=int, default=12,
+                        help="problem size (default: %(default)s)")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)
+    main(_parse_args().n_qubits)

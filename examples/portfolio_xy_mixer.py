@@ -12,7 +12,7 @@ Run with:  python examples/portfolio_xy_mixer.py [n_assets]
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 import numpy as np
 
@@ -61,5 +61,12 @@ def main(n: int = 8) -> None:
           f"(uniform feasible sampling: {1 / len(feasible):.4f})")
 
 
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("n_qubits", nargs="?", type=int, default=8,
+                        help="problem size (default: %(default)s)")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)
+    main(_parse_args().n_qubits)

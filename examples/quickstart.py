@@ -10,7 +10,7 @@ Run with:  python examples/quickstart.py [n_qubits]
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 import numpy as np
 
@@ -54,5 +54,12 @@ def main(n: int = 10) -> None:
         print(f"  |{bits}>  p={probs[x]:.4f}  cost={costs[x]:.3f}")
 
 
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("n_qubits", nargs="?", type=int, default=10,
+                        help="problem size (default: %(default)s)")
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10)
+    main(_parse_args().n_qubits)

@@ -13,6 +13,13 @@ The package mirrors the structure of the paper's QOKit framework:
 * :mod:`repro.parallel` — the virtual-cluster substrate (communicators,
   collectives, topology and performance model);
 * :mod:`repro.classical` — classical heuristic solvers used for reference;
+* :mod:`repro.cutting` — circuit cutting: splits the cost graph into two
+  fragments across ``k`` cut qubits, evaluates each fragment on an ordinary
+  full-tier backend (``4^k`` variants as one batched engine call) and
+  recombines with a tensor contraction, so ``p = 1`` problems beyond the
+  monolithic state budget still evaluate exactly
+  (``repro.cut_qaoa_expectation(...)``; see the README's Circuit cutting
+  section);
 * :mod:`repro.serve` — an async serving layer over the execution engine:
   concurrent expectation requests are routed by problem fingerprint,
   micro-batched into fused engine calls and exact duplicates coalesced
@@ -49,16 +56,21 @@ state-vector simulator and ``backend="tensornet"`` the (expectation-only)
 tensor-network contraction simulator.
 """
 
-from . import fur, problems, serve
+from . import cutting, fur, problems, serve
+from .cutting import CutQAOAObjective, CutQAOAPipeline, cut_qaoa_expectation
 from .fur.registry import simulator
 from .problems import labs, maxcut, portfolio, sk
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
+    "cutting",
     "fur",
     "problems",
     "serve",
+    "CutQAOAObjective",
+    "CutQAOAPipeline",
+    "cut_qaoa_expectation",
     "labs",
     "maxcut",
     "portfolio",

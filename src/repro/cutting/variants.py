@@ -1,0 +1,134 @@
+"""Fragment variant enumeration for wire cutting.
+
+A wire cut on ``k`` qubits decomposes the traced-out wire states through
+the Pauli basis: for any bipartite state and any post-cut circuit,
+
+.. math::
+
+    \\langle O_A \\otimes O_B \\rangle = \\frac{1}{2^k} \\sum_{m}
+        \\langle O_A \\otimes \\sigma_m \\rangle_{\\text{frag 1}}
+        \\cdot \\langle O_B \\rangle_{\\text{frag 2, prep}(\\sigma_m)}
+
+where each Pauli :math:`\\sigma_m` is rebuilt on the fragment-2 side from
+four *pure preparation states* :math:`\\{|0\\rangle, |1\\rangle,
+|{+}\\rangle, |{+i}\\rangle\\}` via the fixed coefficient matrix
+:func:`coefficient_matrix` (``σ_m = Σ_s C[m, s] |s⟩⟨s|``).  This module
+owns those fixed ingredients:
+
+- the measurement/preparation bases and :func:`coefficient_matrix`;
+- :func:`conjugated_paulis` — fragment 1 runs the *uniform* QAOA circuit,
+  which applies one extra mixer rotation ``exp(-i β X)`` on each cut qubit
+  after the cut point; measuring ``σ̃ = U σ U†`` on the evolved state is
+  exactly measuring ``σ`` at the cut point;
+- :func:`variant_initial_states` — the ``(4^k, 2^{n_2})`` block of
+  fragment-2 initial states (prep states on the slot qubits tensored with
+  ``|+⟩`` on the fragment's own qubits), which the execution engine
+  consumes as one per-row ``sv0`` batch.
+
+Everything here is little-endian (qubit ``q`` is bit ``q`` of the state
+index), matching :mod:`repro.fur`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MEAS_LABELS",
+    "PREP_LABELS",
+    "PAULIS",
+    "PREP_STATES",
+    "coefficient_matrix",
+    "conjugated_paulis",
+    "apply_one_qubit",
+    "variant_initial_states",
+    "variant_digits",
+]
+
+#: fragment-1 measurement bases, in digit order (digit value 0..3)
+MEAS_LABELS = ("I", "X", "Y", "Z")
+#: fragment-2 preparation states, in digit order (digit value 0..3)
+PREP_LABELS = ("0", "1", "+", "i")
+
+_SQ2 = 1.0 / np.sqrt(2.0)
+
+#: the four single-qubit Paulis, indexed like :data:`MEAS_LABELS`
+PAULIS = np.array([
+    [[1, 0], [0, 1]],      # I
+    [[0, 1], [1, 0]],      # X
+    [[0, -1j], [1j, 0]],   # Y
+    [[1, 0], [0, -1]],     # Z
+], dtype=np.complex128)
+
+#: the four preparation states, indexed like :data:`PREP_LABELS`
+PREP_STATES = np.array([
+    [1, 0],                # |0>
+    [0, 1],                # |1>
+    [_SQ2, _SQ2],          # |+>
+    [_SQ2, 1j * _SQ2],     # |+i>
+], dtype=np.complex128)
+
+
+def coefficient_matrix() -> np.ndarray:
+    """The ``(4, 4)`` real matrix ``C`` with ``σ_m = Σ_s C[m, s] |s⟩⟨s|``.
+
+    Rows follow :data:`MEAS_LABELS`, columns :data:`PREP_LABELS`.  The
+    identity is exact (each Pauli is an affine combination of the four
+    projectors), which the unit tests re-verify numerically.
+    """
+    return np.array([
+        [1.0, 1.0, 0.0, 0.0],    # I = |0><0| + |1><1|
+        [-1.0, -1.0, 2.0, 0.0],  # X = -I + 2|+><+|
+        [-1.0, -1.0, 0.0, 2.0],  # Y = -I + 2|+i><+i|
+        [1.0, -1.0, 0.0, 0.0],   # Z = |0><0| - |1><1|
+    ], dtype=np.float64)
+
+
+def conjugated_paulis(beta: float) -> np.ndarray:
+    """``σ̃_m = U σ_m U†`` for ``U = exp(-i β X)``, stacked ``(4, 2, 2)``.
+
+    Fragment 1's uniform evolution applies the mixer rotation ``U`` on the
+    cut qubits *after* the cut point; the cut-point Pauli expectation is
+    recovered from the evolved state as ``⟨ψ₁|σ̃_m|ψ₁⟩``.
+    """
+    c, s = np.cos(beta), np.sin(beta)
+    u = np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+    return np.einsum("ab,mbc,dc->mad", u, PAULIS, u.conj())
+
+
+def apply_one_qubit(sv: np.ndarray, op: np.ndarray, qubit: int,
+                    n_qubits: int) -> np.ndarray:
+    """Apply a ``(2, 2)`` operator to one qubit of a little-endian state."""
+    shaped = sv.reshape(2 ** (n_qubits - qubit - 1), 2, 2 ** qubit)
+    return np.einsum("ab,xby->xay", op, shaped).reshape(-1)
+
+
+def variant_digits(variant: int, n_cuts: int) -> tuple[int, ...]:
+    """Base-4 digits of a variant index, cut 0 first (little-endian)."""
+    return tuple((variant >> (2 * i)) & 3 for i in range(n_cuts))
+
+
+def variant_initial_states(n_qubits: int, slot_qubits: int,
+                           dtype: np.dtype | type = np.complex128) -> np.ndarray:
+    """The ``(4^k, 2^n)`` fragment-2 initial-state block.
+
+    The register layout matches :func:`repro.cutting.cutter.assign_terms`:
+    qubits ``[0, n - k)`` are the fragment's own qubits (initialized to
+    ``|+⟩``), qubits ``[n - k, n)`` are the slots (slot ``i`` = qubit
+    ``n - k + i`` hosts cut qubit ``i``).  Row ``v`` prepares slot ``i`` in
+    ``PREP_STATES[(v >> 2i) & 3]`` — base-4 digits of ``v``, cut 0 in the
+    lowest digit.
+    """
+    k = slot_qubits
+    n_own = n_qubits - k
+    plus = np.full(2 ** n_own, 1.0 / np.sqrt(2.0) ** n_own,
+                   dtype=np.complex128)
+    block = np.empty((4 ** k, 2 ** n_qubits), dtype=dtype)
+    for v in range(4 ** k):
+        sv = plus
+        # prepend slots from lowest (qubit n_own) to highest: np.kron(a, b)
+        # puts b in the low bits, so the slot state is the first factor
+        for digit in variant_digits(v, k):
+            sv = np.kron(PREP_STATES[digit], sv)
+        block[v] = sv
+    return block

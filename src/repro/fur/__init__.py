@@ -64,6 +64,7 @@ from .registry import (
     ENTRY_POINT_GROUP,
     BackendRegistry,
     BackendSpec,
+    UnsupportedBackendKwargError,
     available_backends,
     get_backend,
     get_simulator_class,
@@ -183,6 +184,7 @@ __all__ = [
     "order_structural_passes",
     "CAPABILITY_TIERS",
     "CAPABILITY_OPERATIONS",
+    "UnsupportedBackendKwargError",
     "UnsupportedCapabilityError",
     "require_capability",
     "resolve_capability_tier",
@@ -203,6 +205,7 @@ __all__ = [
                   plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
                                  "fuse-mixer-expectation", "reorder-commuting"),
                   priority=100,
+                  constructor_kwargs=("block_size", "precision", "optimize"),
                   description="cache-blocked, allocation-free CPU kernels")
 def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -218,6 +221,7 @@ def _load_c_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
                   plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
                                  "fuse-mixer-expectation", "reorder-commuting"),
                   priority=50,
+                  constructor_kwargs=("precision", "optimize"),
                   description="portable NumPy reference implementation")
 def _load_python_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     return {
@@ -260,6 +264,7 @@ def _jit_dynamic_priority() -> int:
                                  "fuse-mixer-expectation", "reorder-commuting"),
                   priority=60,
                   dynamic_priority=_jit_dynamic_priority,
+                  constructor_kwargs=("precision", "optimize"),
                   description="single-pass cache-blocked fused kernels "
                               "(numba; compiled-C/numpy fallback ladder)",
                   describe_extra=_jit_describe_extra)
@@ -291,6 +296,8 @@ def _sharded_describe_extra() -> str:
                   plan_rewrites=("fuse-phase-mixer", "fold-initial-phase",
                                  "coalesce-exchanges", "reorder-commuting"),
                   priority=40,
+                  constructor_kwargs=("n_shards", "n_workers", "inner",
+                                      "block_size", "precision", "optimize"),
                   description="in-process sharded backend: global/local qubit "
                               "slabs, worker pool, coalesced slab swaps",
                   describe_extra=_sharded_describe_extra)
@@ -312,6 +319,8 @@ def _load_sharded_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
                   device="gpu", distributed=False,
                   precisions=("double", "single"),
                   plan_rewrites=("fuse-phase-mixer",), priority=30,
+                  constructor_kwargs=("device", "device_spec", "block_size",
+                                      "precision", "optimize"),
                   description="simulated-GPU backend (numba-CUDA analogue)")
 def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .simgpu import (
@@ -331,6 +340,8 @@ def _load_gpu_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
                   precisions=("double", "single"),
                   plan_rewrites=("fuse-phase-mixer", "coalesce-exchanges"),
                   priority=20,
+                  constructor_kwargs=("n_ranks", "alltoall_algorithm", "block_size",
+                                      "parallel_local", "precision", "optimize"),
                   description="distributed GPU backend (custom Alltoall, Algorithm 4)")
 def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorGPUMPI
@@ -341,6 +352,8 @@ def _load_gpumpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
 @register_backend("cusvmpi", aliases=("custatevec",), mixers=("x",), device="gpu",
                   distributed=True, precisions=("double", "single"),
                   plan_rewrites=("fuse-phase-mixer",), priority=10,
+                  constructor_kwargs=("n_ranks", "block_size", "parallel_local",
+                                      "precision", "optimize"),
                   description="distributed index-bit-swap backend (cuStateVec analogue)")
 def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
     from .mpi import QAOAFURXSimulatorCUSVMPI
@@ -353,6 +366,8 @@ def _load_cusvmpi_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
                   device="cpu", distributed=False,
                   precisions=("double", "single"),
                   plan_rewrites=("reorder-commuting",), priority=5,
+                  constructor_kwargs=("mixer", "phase_strategy", "dtype",
+                                      "precision", "optimize"),
                   description="gate-by-gate state-vector baseline "
                               "(Qiskit/cuStateVec analogue)")
 def _load_gates_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
@@ -374,6 +389,7 @@ def _load_gates_backend() -> dict[str, type[QAOAFastSimulatorBase]]:
                   precisions=("double",),
                   capabilities="expectation-only",
                   plan_rewrites=("reorder-commuting",), priority=1,
+                  constructor_kwargs=("precision", "optimize", "width_heuristic"),
                   description="tensor-network contraction baseline "
                               "(expectation-only; cuTensorNet/QTensor analogue)")
 def _load_tensornet_backend() -> dict[str, type[QAOAFastSimulatorBase]]:

@@ -239,6 +239,13 @@ class QAOAFastSimulatorBase(abc.ABC):
     #: model then prices mixer sweeps at ~2 streamed passes instead of one
     #: per qubit when ordering the structural passes
     supports_single_pass: bool = False
+    #: whether :meth:`_stage_block` accepts a ``(rows, 2^n)`` *per-row*
+    #: initial-state block in addition to a shared 1-D ``sv0`` — the batched
+    #: evaluation shape of the circuit-cutting fragment pipeline
+    #: (:mod:`repro.cutting`), where every schedule row starts from its own
+    #: basis-initialization variant.  Backends without the flag still serve
+    #: per-row ``sv0`` batches through the engine's looped fallback.
+    supports_batched_sv0: bool = False
 
     def __init__(self, n_qubits: int,
                  terms: Iterable[tuple[float, Iterable[int]]] | None = None,
@@ -468,7 +475,11 @@ class QAOAFastSimulatorBase(abc.ABC):
         """Simulate a batch of (γ, β) schedules over the same problem.
 
         The batches are ``(B, p)`` shaped; entry ``i`` of the returned list is
-        the backend result object for schedule ``i``.  All orchestration is
+        the backend result object for schedule ``i``.  ``sv0`` may be a shared
+        1-D initial state or a ``(B, 2^n)`` block supplying one initial state
+        per schedule row (the circuit-cutting fragment-variant shape);
+        backends without :attr:`supports_batched_sv0` serve per-row blocks
+        through the looped fallback.  All orchestration is
         delegated to the shared execution engine: backends implementing the
         :class:`~repro.fur.engine.KernelProvider` protocol evolve ``(B, 2^n)``
         state blocks through all layers at once (``memory_budget`` bounds the
@@ -727,6 +738,29 @@ class QAOAFastSimulatorBase(abc.ABC):
                 f"initial state has shape {arr.shape}, expected ({self._n_states},)"
             )
         return arr
+
+    def _validate_sv0_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
+        """A ``(rows, 2^n)`` block of initial states at the simulation precision.
+
+        The staging helper behind :attr:`supports_batched_sv0`: ``sv0=None``
+        tiles ``|+>^n``, a 1-D state is validated and tiled across all rows,
+        and a 2-D ``(rows, 2^n)`` array supplies one initial state *per row*
+        (copied at the simulator's complex dtype, never upcast).  The 1-D and
+        ``None`` paths write the block with a single broadcast pass.
+        """
+        if sv0 is not None and np.ndim(sv0) == 2:
+            arr = np.array(sv0, dtype=self._precision.complex_dtype, copy=True)
+            if arr.shape != (rows, self._n_states):
+                raise ValueError(
+                    f"per-row initial-state block has shape {arr.shape}, "
+                    f"expected ({rows}, {self._n_states})"
+                )
+            return arr
+        sv = self._validate_sv0(sv0)
+        block = np.empty((rows, self._n_states),
+                         dtype=self._precision.complex_dtype)
+        np.copyto(block, sv[None, :])
+        return block
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"{type(self).__name__}(n_qubits={self._n_qubits}, "

@@ -459,6 +459,38 @@ class ExecutionEngine:
             )
         return mode
 
+    def _resolve_sv0(self, sv0: np.ndarray | None, batch: int,
+                     mode: str) -> tuple[np.ndarray | None, bool, str]:
+        """Normalize ``sv0`` and pick the execution path it can ride.
+
+        Returns ``(sv0, per_row, resolved_mode)``: ``per_row`` is true when
+        ``sv0`` is a ``(B, 2^n)`` block carrying one initial state per
+        schedule row.  Providers that do not advertise
+        ``supports_batched_sv0`` serve per-row blocks through the looped
+        fallback under ``mode="auto"``; an explicit ``mode="fused"`` request
+        they cannot honour raises instead of silently degrading.
+        """
+        resolved = self._resolve_mode(mode)
+        if sv0 is None:
+            return None, False, resolved
+        arr = np.asarray(sv0)
+        if arr.ndim != 2:
+            return arr, False, resolved
+        if arr.shape[0] != batch:
+            raise ValueError(
+                f"per-row initial-state block has {arr.shape[0]} rows for a "
+                f"batch of {batch} schedules"
+            )
+        if resolved == "fused" and not self._sim.supports_batched_sv0:
+            if mode == "fused":
+                raise ValueError(
+                    f"backend {self._sim.backend_name!r} does not support "
+                    "per-row initial-state blocks on the fused path; use "
+                    "mode='looped' or 'auto'"
+                )
+            resolved = "looped"
+        return arr, True, resolved
+
     @staticmethod
     def _fused_kwargs(kwargs: dict) -> int:
         """Extract ``n_trotters`` from the fused path's kwargs, reject the rest."""
@@ -581,11 +613,13 @@ class ExecutionEngine:
         """
         require_capability(self._sim, "statevector")
         g, b = validate_angle_batches(gammas_batch, betas_batch)
-        if self._resolve_mode(mode) == "looped":
+        sv0, per_row, resolved = self._resolve_sv0(sv0, g.shape[0], mode)
+        if resolved == "looped":
             with self._lock:
                 self.stats.looped_evaluations += g.shape[0]
-            return [self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
-                    for gi, bi in zip(g, b)]
+            return [self._sim.simulate_qaoa(
+                        gi, bi, sv0=sv0[i] if per_row else sv0, **kwargs)
+                    for i, (gi, bi) in enumerate(zip(g, b))]
         n_trotters = self._fused_kwargs(kwargs)
         plan = self.plan(g.shape[1], n_trotters=n_trotters,
                          memory_budget=memory_budget, reduce=False,
@@ -593,7 +627,8 @@ class ExecutionEngine:
         ops = self._batch_ops(plan, g, b)
         results: list[Any] = []
         for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
-            block, _ = self._run_ops(plan, ops, g[r0:r1], b[r0:r1], sv0, None)
+            block, _ = self._run_ops(plan, ops, g[r0:r1], b[r0:r1],
+                                     sv0[r0:r1] if per_row else sv0, None)
             results.extend(self._sim._block_results(block))
         return results
 
@@ -612,14 +647,16 @@ class ExecutionEngine:
         """
         require_capability(self._sim, "expectation")
         g, b = validate_angle_batches(gammas_batch, betas_batch)
-        resolved = self._sim._resolve_costs(costs)
-        if self._resolve_mode(mode) == "looped":
+        resolved_costs = self._sim._resolve_costs(costs)
+        sv0, per_row, resolved = self._resolve_sv0(sv0, g.shape[0], mode)
+        if resolved == "looped":
             with self._lock:
                 self.stats.looped_evaluations += g.shape[0]
             out = np.empty(g.shape[0], dtype=np.float64)
             for i, (gi, bi) in enumerate(zip(g, b)):
-                result = self._sim.simulate_qaoa(gi, bi, sv0=sv0, **kwargs)
-                out[i] = self._sim.get_expectation(result, costs=resolved,
+                result = self._sim.simulate_qaoa(
+                    gi, bi, sv0=sv0[i] if per_row else sv0, **kwargs)
+                out[i] = self._sim.get_expectation(result, costs=resolved_costs,
                                                   preserve_state=False)
             return out
         n_trotters = self._fused_kwargs(kwargs)
@@ -628,11 +665,12 @@ class ExecutionEngine:
                          optimize=optimize)
         ops = self._batch_ops(plan, g, b)
         out = np.empty(g.shape[0], dtype=np.float64)
-        staged = self._sim._stage_batch_costs(resolved)
+        staged = self._sim._stage_batch_costs(resolved_costs)
         try:
             for r0, r1 in self._sub_batches(g.shape[0], memory_budget):
                 block, values = self._run_ops(plan, ops, g[r0:r1], b[r0:r1],
-                                              sv0, staged)
+                                              sv0[r0:r1] if per_row else sv0,
+                                              staged)
                 try:
                     out[r0:r1] = values
                 finally:

@@ -73,13 +73,10 @@ class _QAOAFURJITSimulatorBase(QAOAFastSimulatorBase):
         return sv
 
     # -- kernel-provider hooks (driven by repro.fur.engine) ------------------
+    supports_batched_sv0 = True
+
     def _stage_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
-        sv = self._validate_sv0(sv0)
-        # broadcast copy instead of np.repeat: one write pass, no index math
-        block = np.empty((rows, self._n_states),
-                         dtype=self._precision.complex_dtype)
-        np.copyto(block, sv[None, :])
-        return block
+        return self._validate_sv0_block(sv0, rows)
 
     def _stage_phase_block(self, gammas: np.ndarray, plan: Any) -> np.ndarray:
         return staged_phase_block(gammas, self._phase_costs(), self._n_states,

@@ -97,13 +97,14 @@ class _QAOAFURPythonSimulatorBase(QAOAFastSimulatorBase):
         return sv
 
     # -- kernel-provider hooks (driven by repro.fur.engine) -------------------
+    supports_batched_sv0 = True
+
     #: lazily-allocated phase gather buffer (see :meth:`_gather_buffer`)
     _phase_buf: np.ndarray | None = None
 
     def _stage_block(self, sv0: np.ndarray | None, rows: int) -> np.ndarray:
-        sv = self._validate_sv0(sv0)
         self._phase_buf = None  # (re)allocated lazily on first phase sweep
-        return np.repeat(sv[None, :], rows, axis=0)
+        return self._validate_sv0_block(sv0, rows)
 
     def _stage_phase_block(self, gammas: np.ndarray, plan: Any) -> np.ndarray:
         """FoldInitialPhase staging: write ``exp(-i γ_r c)/√N`` directly.

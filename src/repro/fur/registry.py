@@ -43,6 +43,7 @@ group once at ``repro.fur`` import time.
 from __future__ import annotations
 
 import difflib
+import inspect
 import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
@@ -63,6 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "BackendSpec",
     "BackendRegistry",
+    "UnsupportedBackendKwargError",
     "registry",
     "register_backend",
     "get_backend",
@@ -81,6 +83,40 @@ KNOWN_MIXERS = ("x", "xyring", "xycomplete")
 
 #: Loader signature: zero-argument callable returning mixer -> simulator class.
 BackendLoader = Callable[[], dict[str, type]]
+
+
+class UnsupportedBackendKwargError(TypeError):
+    """A constructor kwarg was passed to a backend that does not accept it.
+
+    Raised by the :func:`simulator` facade at resolution time — before the
+    backend constructor runs — so a mis-targeted kwarg (``n_shards`` on a
+    non-sharded backend, ``inner`` outside the sharded family, ...) surfaces
+    as a typed error naming the backend and the backends that *do* accept
+    the kwarg, instead of leaking the constructor's raw ``TypeError``.
+    Subclasses ``TypeError`` so existing ``except TypeError`` call sites
+    keep working.
+    """
+
+
+def _unexpected_constructor_kwargs(cls: type, kwargs: dict) -> list[str]:
+    """Kwargs the backend class's constructor signature cannot bind.
+
+    The constructor signature is authoritative (registry metadata is only
+    used to phrase the error message).  A constructor taking ``**kwargs``
+    validates its own keywords, so nothing is flagged for it; signatures
+    that cannot be introspected are skipped the same way.
+    """
+    try:
+        sig = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - C-level __init__
+        return []
+    params = sig.parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return []
+    accepted = {name for name, p in params.items()
+                if p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                              inspect.Parameter.KEYWORD_ONLY)}
+    return sorted(k for k in kwargs if k not in accepted)
 
 
 @dataclass
@@ -139,6 +175,12 @@ class BackendSpec:
         line for ``describe()`` (e.g. the ``jit`` family reports which
         implementation path is live and its effective thread count).
         Evaluated lazily, only when ``describe()`` is called.
+    constructor_kwargs:
+        Keyword arguments the family's simulator constructors accept beyond
+        ``(n_qubits, terms, costs)`` — introspection *metadata* used by the
+        :func:`simulator` facade to point a mis-targeted kwarg at the
+        backends that do accept it (the constructors' signatures stay
+        authoritative for what actually binds).
     """
 
     name: str
@@ -154,6 +196,7 @@ class BackendSpec:
     dynamic_priority: Callable[[], int] | None = None
     description: str = ""
     describe_extra: Callable[[], str] | None = None
+    constructor_kwargs: tuple[str, ...] = ()
     _classes: dict[str, type] | None = field(default=None, repr=False)
     _load_error: BaseException | None = field(default=None, repr=False)
 
@@ -274,6 +317,7 @@ class BackendRegistry:
                          dynamic_priority: Callable[[], int] | None = None,
                          description: str = "",
                          describe_extra: Callable[[], str] | None = None,
+                         constructor_kwargs: Iterable[str] = (),
                          overwrite: bool = False) -> Callable[[BackendLoader], BackendLoader]:
         """Decorator form of :meth:`register` for a lazy loader function.
 
@@ -297,6 +341,7 @@ class BackendRegistry:
                     dynamic_priority=dynamic_priority,
                     description=description or (loader.__doc__ or "").strip().split("\n")[0],
                     describe_extra=describe_extra,
+                    constructor_kwargs=tuple(constructor_kwargs),
                 ),
                 overwrite=overwrite,
             )
@@ -342,6 +387,39 @@ class BackendRegistry:
                     extra = f"(describe_extra failed: {exc!r})"
                 lines.append(f"{'':>10}  {extra}")
         return "\n".join(lines)
+
+    def backends_accepting_kwarg(self, kwarg: str) -> list[str]:
+        """Canonical names of backends whose constructors accept ``kwarg``.
+
+        Driven by the registrations' ``constructor_kwargs`` metadata; listed
+        highest resolution priority first (like :meth:`names`).
+        """
+        return [name for name in self.names()
+                if kwarg in self._specs[name].constructor_kwargs]
+
+    def _unsupported_kwarg_error(self, backend: str, cls: type,
+                                 unexpected: list[str]) -> UnsupportedBackendKwargError:
+        """Build the typed error for constructor kwargs the backend rejects."""
+        accepted = sorted(
+            name for name, p in inspect.signature(cls.__init__).parameters.items()
+            if name not in ("self", "n_qubits", "terms", "costs")
+            and p.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                           inspect.Parameter.KEYWORD_ONLY)
+        )
+        parts = [
+            f"backend {backend!r} does not accept constructor "
+            f"{'kwargs' if len(unexpected) > 1 else 'kwarg'} "
+            f"{', '.join(repr(k) for k in unexpected)}"
+        ]
+        if accepted:
+            parts.append(f"it accepts: {', '.join(accepted)}")
+        for kwarg in unexpected:
+            takers = [n for n in self.backends_accepting_kwarg(kwarg)
+                      if n != backend]
+            if takers:
+                parts.append(
+                    f"backends accepting {kwarg!r}: {', '.join(takers)}")
+        return UnsupportedBackendKwargError("; ".join(parts))
 
     # -- resolution ----------------------------------------------------------
     def _unknown_backend_error(self, name: str) -> ValueError:
@@ -652,4 +730,12 @@ def simulator(n_qubits: int,
         # Same convention as ``precision``: only a non-default level is
         # forwarded, so classes without an ``optimize`` keyword keep working.
         simulator_kwargs["optimize"] = optimize
+    # Validate backend-specific kwargs before the constructor runs, so a
+    # mis-targeted kwarg raises the typed registry error (naming the
+    # backends that do accept it) instead of the constructor's TypeError.
+    unexpected = _unexpected_constructor_kwargs(cls, simulator_kwargs)
+    if unexpected:
+        backend_name = getattr(cls, "backend_name", None) or (
+            backend if isinstance(backend, str) else cls.__name__)
+        raise registry._unsupported_kwarg_error(backend_name, cls, unexpected)
     return cls(n_qubits, terms=terms, costs=costs, **simulator_kwargs)

@@ -352,6 +352,8 @@ class _ShardedFURSimulatorBase(QAOAFastSimulatorBase):
             self._phase_table_slices = tables
         return tables
 
+    supports_batched_sv0 = True
+
     def _stage_block(self, sv0: np.ndarray | None,
                      rows: int) -> list[np.ndarray]:
         """Materialize one ``(rows, local_states)`` slab per shard."""
@@ -361,6 +363,10 @@ class _ShardedFURSimulatorBase(QAOAFastSimulatorBase):
             return [np.full((rows, s), amp,
                             dtype=self._precision.complex_dtype)
                     for _ in range(self._n_shards)]
+        if np.ndim(sv0) == 2:
+            full2 = self._validate_sv0_block(sv0, rows)
+            return [np.ascontiguousarray(full2[:, r * s:(r + 1) * s])
+                    for r in range(self._n_shards)]
         full = self._validate_sv0(sv0)
         return [np.repeat(full[r * s:(r + 1) * s][None, :], rows, axis=0)
                 for r in range(self._n_shards)]

@@ -175,8 +175,12 @@ class QAOAGateBasedSimulator(QAOAFastSimulatorBase):
     def _engine_phase_tables(self) -> Any:
         return None  # the phase separator is re-applied gate by gate
 
+    supports_batched_sv0 = True
+
     def _stage_block(self, sv0: np.ndarray | None,
                      rows: int) -> list[np.ndarray]:
+        if sv0 is not None and np.ndim(sv0) == 2:
+            return list(self._validate_sv0_block(sv0, rows))
         sv = self._validate_sv0(sv0)
         return [sv.copy() for _ in range(rows)]
 

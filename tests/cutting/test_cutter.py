@@ -1,0 +1,112 @@
+"""Unit tests for cut selection and term assignment."""
+
+import pytest
+
+from repro.cutting import (
+    CutSpec,
+    InvalidCutError,
+    assign_terms,
+    choose_cut,
+)
+
+RING8 = [(1.0, (i, (i + 1) % 8)) for i in range(8)]
+
+
+class TestCutSpec:
+    def test_valid_spec(self):
+        spec = CutSpec(4, (0, 1), (2, 3), (1,))
+        assert spec.n_cuts == 1
+        assert spec.n_variants == 4
+
+    def test_overlapping_fragments_rejected(self):
+        with pytest.raises(InvalidCutError, match="overlap"):
+            CutSpec(4, (0, 1, 2), (2, 3), ())
+
+    def test_uncovered_qubits_rejected(self):
+        with pytest.raises(InvalidCutError, match="cover"):
+            CutSpec(4, (0, 1), (3,), ())
+
+    def test_cut_outside_fragment_a_rejected(self):
+        with pytest.raises(InvalidCutError, match="not in fragment A"):
+            CutSpec(4, (0, 1), (2, 3), (2,))
+
+    def test_empty_fragment_rejected(self):
+        with pytest.raises(InvalidCutError, match="non-empty"):
+            CutSpec(2, (0, 1), (), ())
+
+
+class TestChooseCut:
+    def test_explicit_partition(self):
+        spec = choose_cut(RING8, 8, partition=range(4))
+        assert spec.fragment_a in ((0, 1, 2, 3), (4, 5, 6, 7))
+        # a ring crossing the 3|4 and 7|0 boundaries exposes two qubits
+        assert spec.n_cuts == 2
+
+    def test_explicit_cut_qubits_validated(self):
+        spec = choose_cut(RING8, 8, partition=range(4), cut_qubits=(0, 3))
+        assert spec.cut_qubits == (0, 3)
+        with pytest.raises(InvalidCutError, match="does not cover"):
+            choose_cut(RING8, 8, partition=range(4), cut_qubits=(0,))
+        with pytest.raises(InvalidCutError, match="not in fragment A"):
+            choose_cut(RING8, 8, partition=range(4), cut_qubits=(5,))
+
+    def test_heuristic_finds_block_structure(self):
+        # two dense 4-cliques joined by a single bridge edge: the greedy
+        # sweep must find the 1-edge cut regardless of the bridge position
+        clique = lambda qs: [(0.5, (a, b)) for i, a in enumerate(qs)
+                             for b in qs[i + 1:]]
+        terms = clique((0, 1, 2, 3)) + clique((4, 5, 6, 7)) + [(1.0, (1, 6))]
+        spec = choose_cut(terms, 8)
+        assert spec.n_cuts == 1
+        assert set(spec.fragment_a) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_side_with_fewer_boundary_qubits_hosts_the_cut(self):
+        # star: qubit 0 couples to everything in 4..7 — cutting on the
+        # B side would need 4 cut qubits, on the A side just one
+        terms = [(1.0, (0, q)) for q in (4, 5, 6, 7)] + [(1.0, (1, 2))]
+        spec = choose_cut(terms, 8, partition=range(4))
+        assert spec.cut_qubits == (0,)
+
+    def test_max_cuts_guard(self):
+        with pytest.raises(InvalidCutError, match="max_cuts"):
+            choose_cut(RING8, 8, partition=range(4), max_cuts=1)
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(InvalidCutError):
+            choose_cut(RING8, 8, partition=range(8))
+        with pytest.raises(InvalidCutError):
+            choose_cut(RING8, 8, partition=[0, 99])
+
+
+class TestAssignTerms:
+    def test_phase_terms_split_and_relocalized(self):
+        terms = [(1.0, (0, 1)), (2.0, (2, 3)), (3.0, (1, 2)), (0.5, ())]
+        spec = choose_cut(terms, 4, partition=(0, 1))
+        assignment = assign_terms(terms, spec)
+        # (0,1) is A-internal; (2,3) and the crossing (1,2) run in B
+        assert assignment.f1_terms == ((1.0, (0, 1)),)
+        assert assignment.offset == 0.5
+        assert len(assignment.f2_terms) == 2
+        # fragment B register: its own qubits (2, 3) then the slot for 1
+        assert assignment.f2_qubits == (2, 3) + spec.cut_qubits
+        # the crossing term maps qubit 1 to the slot (local index 2)
+        assert (3.0, (0, 2)) in assignment.f2_terms
+
+    def test_measured_masks(self):
+        terms = [(1.0, (0, 1)), (3.0, (1, 2))]
+        spec = choose_cut(terms, 4, partition=(0, 1))
+        assert spec.cut_qubits == (1,)
+        assignment = assign_terms(terms, spec)
+        by_weight = {w: (m1, m2) for w, m1, m2 in assignment.measured}
+        # (0,1): qubit 0 is non-cut A (bit 0 of fragment A), qubit 1 is
+        # the cut qubit -> measured on fragment B's slot (local qubit 2)
+        assert by_weight[1.0] == (0b01, 0b100)
+        # (1,2): cut qubit 1 -> slot bit 2; qubit 2 -> B-local bit 0
+        assert by_weight[3.0] == (0, 0b101)
+
+    def test_uncoverable_term_rejected(self):
+        # a term touching a non-cut A qubit and B cannot be assigned
+        terms = [(1.0, (1, 2))]
+        spec = CutSpec(4, (0, 1), (2, 3), ())
+        with pytest.raises(InvalidCutError, match="outside the cut set"):
+            assign_terms(terms, spec)

@@ -1,0 +1,94 @@
+"""Unit tests for the variant-enumeration ingredients."""
+
+import numpy as np
+import pytest
+
+from repro.cutting import coefficient_matrix, conjugated_paulis
+from repro.cutting.variants import (
+    PAULIS,
+    PREP_STATES,
+    apply_one_qubit,
+    variant_digits,
+    variant_initial_states,
+)
+
+
+def test_paulis_and_prep_states_are_what_they_claim():
+    assert np.allclose(PAULIS[1] @ PAULIS[1], np.eye(2))
+    assert np.allclose(PAULIS[2] @ PAULIS[2], np.eye(2))
+    for state in PREP_STATES:
+        assert np.isclose(np.vdot(state, state), 1.0)
+
+
+def test_coefficient_matrix_reconstructs_every_pauli():
+    """The defining identity: σ_m = Σ_s C[m, s] |s⟩⟨s|, exactly."""
+    c = coefficient_matrix()
+    for m in range(4):
+        built = sum(c[m, s] * np.outer(PREP_STATES[s],
+                                       PREP_STATES[s].conj())
+                    for s in range(4))
+        np.testing.assert_allclose(built, PAULIS[m], atol=1e-15)
+
+
+@pytest.mark.parametrize("beta", [0.0, 0.3, -1.2, np.pi / 2])
+def test_conjugated_paulis_undo_the_mixer_rotation(beta):
+    """⟨ψ|σ̃|ψ⟩ must equal ⟨U†ψ|σ|U†ψ⟩ for U = exp(-iβX)."""
+    sigmas = conjugated_paulis(beta)
+    c, s = np.cos(beta), np.sin(beta)
+    u = np.array([[c, -1j * s], [-1j * s, c]])
+    rng = np.random.default_rng(5)
+    psi = rng.normal(size=2) + 1j * rng.normal(size=2)
+    psi /= np.linalg.norm(psi)
+    pre = u.conj().T @ psi
+    for m in range(4):
+        lhs = np.vdot(psi, sigmas[m] @ psi)
+        rhs = np.vdot(pre, PAULIS[m] @ pre)
+        assert np.isclose(lhs, rhs, atol=1e-14)
+        # σ̃ stays Hermitian, so the measured table is real
+        np.testing.assert_allclose(sigmas[m], sigmas[m].conj().T, atol=1e-15)
+
+
+def test_conjugated_paulis_at_zero_are_the_paulis():
+    np.testing.assert_allclose(conjugated_paulis(0.0), PAULIS, atol=1e-15)
+
+
+def test_apply_one_qubit_little_endian():
+    # |00> --X on qubit 1--> |10> (index 2 little-endian)
+    sv = np.zeros(4, dtype=complex)
+    sv[0] = 1.0
+    out = apply_one_qubit(sv, PAULIS[1], 1, 2)
+    assert np.isclose(out[2], 1.0)
+    out = apply_one_qubit(sv, PAULIS[1], 0, 2)
+    assert np.isclose(out[1], 1.0)
+
+
+def test_variant_digits_little_endian():
+    assert variant_digits(0, 3) == (0, 0, 0)
+    assert variant_digits(1, 3) == (1, 0, 0)   # cut 0 in the lowest digit
+    assert variant_digits(4, 3) == (0, 1, 0)
+    assert variant_digits(0b100100 + 2, 3) == (2, 1, 2)
+
+
+def test_variant_initial_states_layout():
+    # n=3, one slot (qubit 2): row v prepares slot in PREP_STATES[v]
+    block = variant_initial_states(3, 1)
+    assert block.shape == (4, 8)
+    plus2 = np.full(4, 0.5)
+    for v in range(4):
+        expected = np.kron(PREP_STATES[v], plus2)
+        np.testing.assert_allclose(block[v], expected, atol=1e-15)
+        assert np.isclose(np.vdot(block[v], block[v]), 1.0)
+
+
+def test_variant_initial_states_two_slots_digit_order():
+    # slot 0 = qubit 1 (low), slot 1 = qubit 2 (high); variant v = 4*d1+d0
+    block = variant_initial_states(3, 2)
+    assert block.shape == (16, 8)
+    plus1 = np.full(2, 1 / np.sqrt(2))
+    v = 4 * 3 + 1  # slot 0 -> |1>, slot 1 -> |+i>
+    expected = np.kron(PREP_STATES[3], np.kron(PREP_STATES[1], plus1))
+    np.testing.assert_allclose(block[v], expected, atol=1e-15)
+
+
+def test_variant_initial_states_dtype():
+    assert variant_initial_states(3, 1, dtype=np.complex64).dtype == np.complex64

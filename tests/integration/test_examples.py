@@ -33,3 +33,29 @@ def test_examples_directory_documented_in_readme():
     readme = (EXAMPLES_DIR.parent / "README.md").read_text()
     for script, _ in EXAMPLES:
         assert script in readme, f"{script} not mentioned in README"
+
+
+@pytest.mark.parametrize("script,_size", EXAMPLES)
+def test_example_help_exits_cleanly(script, _size):
+    """Every example is a proper CLI: --help prints usage and exits 0."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), "--help"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "n_qubits" in result.stdout
+    assert "usage" in result.stdout.lower()
+
+
+@pytest.mark.parametrize("script,_size", EXAMPLES)
+def test_example_rejects_non_integer_argument(script, _size):
+    """Regression: a non-integer size used to crash with a raw ValueError
+    traceback; argparse now reports the bad value and exits with code 2."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), "not-a-number"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert result.returncode == 2, (
+        f"{script} exited {result.returncode}:\n{result.stderr}")
+    assert "Traceback" not in result.stderr
+    assert "invalid int value" in result.stderr
